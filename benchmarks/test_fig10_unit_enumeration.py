@@ -1,0 +1,55 @@
+"""Figure 10: enumeration of valid transformations within one optimization unit.
+
+Regenerates the Figure 10 view for the running example (the Business Report
+workflow): the subplans enumerated inside the optimization unit whose
+producers are the two group-by jobs, each with the best estimated cost found
+by the RRS configuration search.  The chosen subplan must be the one with the
+lowest estimated cost.
+"""
+
+from conftest import run_once
+
+from repro.core.optimization_unit import OptimizationUnitGenerator
+from repro.core.search import StubbySearch
+from repro.core.transformations import (
+    HorizontalPacking,
+    InterJobVerticalPacking,
+    IntraJobVerticalPacking,
+    PartitionFunctionTransformation,
+)
+
+
+def test_fig10_subplan_enumeration_within_a_unit(benchmark, harness, cluster):
+    workload = harness.prepare_workload("BR")
+    plan = workload.plan
+    search = StubbySearch(
+        cluster=cluster,
+        vertical_transformations=[
+            IntraJobVerticalPacking(),
+            InterJobVerticalPacking(),
+            PartitionFunctionTransformation(),
+        ],
+        horizontal_transformations=[HorizontalPacking(), PartitionFunctionTransformation()],
+    )
+    generator = OptimizationUnitGenerator()
+    first_unit = generator.next_unit(plan)
+    optimized, _ = search.optimize_unit(plan, first_unit, search.vertical_transformations)
+    generator.mark_handled(optimized, first_unit)
+    unit = generator.next_unit(optimized)
+
+    def enumerate_and_cost():
+        return search.optimize_unit(optimized, unit, search.vertical_transformations)
+
+    _, report = run_once(benchmark, enumerate_and_cost)
+
+    print(f"\nFigure 10: subplans of optimization unit {unit}")
+    best = min(record.estimated_cost for record in report.subplans)
+    for index, record in enumerate(report.subplans):
+        marker = "*" if index == report.chosen_index else " "
+        label = " + ".join(record.transformations) if record.transformations else "(no structural change)"
+        print(f"  {marker} p{index + 1}: est. cost {record.estimated_cost:9.1f} s  [{label}]")
+
+    assert len(report.subplans) >= 2
+    assert report.chosen is not None
+    assert report.chosen.estimated_cost == best
+    assert any(record.transformations for record in report.subplans)

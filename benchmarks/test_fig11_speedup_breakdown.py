@@ -1,0 +1,44 @@
+"""Figure 11: speedup over the Baseline of Stubby, Vertical, and Horizontal.
+
+Regenerates the paper's Figure 11 series for all eight workloads.  Expected
+shape (not absolute values): Stubby is at least as fast as the Baseline on
+every workload and at least as fast as the better of its Vertical-only and
+Horizontal-only variants (within a small tolerance for RRS randomness);
+IR/SN benefit mostly from the Vertical group; PJ's cost-based decision not to
+pack horizontally beats the Baseline's rule.
+"""
+
+from conftest import run_once
+
+from repro.workloads import WORKLOAD_ORDER
+
+OPTIMIZERS = ("Baseline", "Stubby", "Vertical", "Horizontal")
+
+
+def test_fig11_speedup_over_baseline(benchmark, harness):
+    def run_all():
+        return [harness.compare(abbr, optimizers=OPTIMIZERS) for abbr in WORKLOAD_ORDER]
+
+    comparisons = run_once(benchmark, run_all)
+
+    print("\nFigure 11: speedup over Baseline (actual simulated runtimes)")
+    print(harness.format_speedup_table(comparisons, OPTIMIZERS))
+
+    for comparison in comparisons:
+        for run in comparison.runs.values():
+            assert run.output_equivalent, f"{comparison.abbreviation}:{run.optimizer} changed results"
+        stubby = comparison.speedup("Stubby")
+        vertical = comparison.speedup("Vertical")
+        horizontal = comparison.speedup("Horizontal")
+        assert stubby >= 0.95, f"{comparison.abbreviation}: Stubby slower than Baseline"
+        assert stubby >= max(vertical, horizontal) * 0.85, (
+            f"{comparison.abbreviation}: Stubby should track its best variant"
+        )
+
+    by_abbr = {c.abbreviation: c for c in comparisons}
+    # PJ: the Baseline's unconditional horizontal packing is the wrong choice.
+    assert by_abbr["PJ"].speedup("Stubby") > 1.2
+    assert by_abbr["PJ"].runs["Stubby"].num_jobs == 3
+    # IR and SN gains come predominantly from the Vertical group.
+    assert by_abbr["IR"].speedup("Vertical") >= by_abbr["IR"].speedup("Horizontal") * 0.9
+    assert by_abbr["SN"].speedup("Vertical") >= by_abbr["SN"].speedup("Horizontal") * 0.9

@@ -1,0 +1,41 @@
+"""Figure 12: Stubby against Starfish, YSmart, and MRShare.
+
+Regenerates the paper's Figure 12 series: speedup over the Baseline for
+Stubby and the three state-of-the-art comparators on all eight workloads.
+Expected shape: Stubby matches or outperforms every comparator on every
+workload (it searches a superset of their plan spaces, cost-based); Starfish
+helps everywhere it can tune configurations; MRShare only helps where
+horizontal packing applies and correctly declines it for PJ.
+"""
+
+from conftest import run_once
+
+from repro.workloads import WORKLOAD_ORDER
+
+OPTIMIZERS = ("Baseline", "Stubby", "Starfish", "YSmart", "MRShare")
+
+
+def test_fig12_comparison_with_state_of_the_art(benchmark, harness):
+    def run_all():
+        return [harness.compare(abbr, optimizers=OPTIMIZERS) for abbr in WORKLOAD_ORDER]
+
+    comparisons = run_once(benchmark, run_all)
+
+    print("\nFigure 12: speedup over Baseline (actual simulated runtimes)")
+    print(harness.format_speedup_table(comparisons, OPTIMIZERS))
+
+    for comparison in comparisons:
+        for run in comparison.runs.values():
+            assert run.output_equivalent, f"{comparison.abbreviation}:{run.optimizer} changed results"
+        stubby = comparison.speedup("Stubby")
+        for other in ("Starfish", "YSmart", "MRShare"):
+            assert stubby >= comparison.speedup(other) * 0.9, (
+                f"{comparison.abbreviation}: Stubby should not lose to {other}"
+            )
+
+    by_abbr = {c.abbreviation: c for c in comparisons}
+    # MRShare (cost-based) correctly refuses to pack the PJ consumers, while
+    # YSmart (rule-based) packs them.
+    assert by_abbr["PJ"].runs["MRShare"].num_jobs == 3
+    assert by_abbr["PJ"].runs["YSmart"].num_jobs == 2
+    assert by_abbr["PJ"].speedup("MRShare") >= by_abbr["PJ"].speedup("YSmart")

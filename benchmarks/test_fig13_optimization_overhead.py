@@ -1,0 +1,34 @@
+"""Figure 13: Stubby's optimization overhead.
+
+Regenerates the paper's Figure 13: the wall-clock time Stubby spends
+optimizing each workflow, and that time as a percentage of the workflow's
+(Baseline) runtime.  The expected shape: optimization takes seconds — a small
+fraction of workflows whose simulated runtimes are in the hundreds-to-
+thousands of seconds range — so the overhead is easily amortized over
+repeated runs of periodic analytical workflows.
+"""
+
+from conftest import run_once
+
+from repro.workloads import WORKLOAD_ORDER
+
+
+def test_fig13_optimization_overhead(benchmark, harness):
+    def run_all():
+        return [
+            harness.compare(abbr, optimizers=("Baseline", "Stubby")) for abbr in WORKLOAD_ORDER
+        ]
+
+    comparisons = run_once(benchmark, run_all)
+
+    print("\nFigure 13: Stubby optimization overhead")
+    print(harness.format_overhead_table(comparisons))
+
+    for comparison in comparisons:
+        stubby = comparison.runs["Stubby"]
+        baseline = comparison.runs["Baseline"]
+        assert stubby.optimization_time_s > 0.0
+        # Optimization takes far less wall-clock time than the (simulated)
+        # cluster would spend running even the optimized workflow once.
+        assert stubby.optimization_time_s < baseline.actual_s
+        assert stubby.optimization_time_s < 120.0

@@ -1,0 +1,43 @@
+"""Figure 14: actual vs estimated cost for the subplans of one optimization unit.
+
+Regenerates the paper's Figure 14 scatter: every subplan enumerated for the
+first optimization unit of the Information Retrieval workflow is configured
+with its best RRS settings, costed by the What-if engine (estimated), and
+executed on the engine + cluster simulator (actual).  The estimates need not
+be exact, but they must be good enough to identify the best and the worst
+subplan — which is all the greedy search needs.
+"""
+
+from conftest import run_once
+
+
+def _normalized(values):
+    top = max(values)
+    return [v / top for v in values] if top > 0 else values
+
+
+def test_fig14_estimated_vs_actual_subplan_costs(benchmark, harness):
+    rows = run_once(benchmark, lambda: harness.unit_deep_dive("IR"))
+    assert len(rows) >= 2
+
+    estimates = [estimated for _, estimated, _ in rows]
+    actuals = [actual for _, _, actual in rows]
+    norm_estimates = _normalized(estimates)
+    norm_actuals = _normalized(actuals)
+
+    print("\nFigure 14: IR first optimization unit — normalized estimated vs actual cost")
+    print(f"{'subplan':<55} {'estimated':>9} {'actual':>9}")
+    for (transformations, _, _), est, act in zip(rows, norm_estimates, norm_actuals):
+        label = " + ".join(transformations) if transformations else "(no structural change)"
+        print(f"{label:<55} {est:>9.3f} {act:>9.3f}")
+
+    # The estimates identify the best and the worst subplans (paper §7.5):
+    # choosing by estimated cost must not lose more than 10% of the actual
+    # optimum (ties between near-identical subplans are acceptable), and the
+    # estimated-worst subplan must be the actual-worst.
+    chosen_by_estimate = estimates.index(min(estimates))
+    assert actuals[chosen_by_estimate] <= min(actuals) * 1.10
+    assert estimates.index(max(estimates)) == actuals.index(max(actuals))
+    # And they correlate reasonably: mean absolute normalized error is bounded.
+    mean_error = sum(abs(e - a) for e, a in zip(norm_estimates, norm_actuals)) / len(rows)
+    assert mean_error < 0.35

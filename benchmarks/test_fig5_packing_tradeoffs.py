@@ -1,0 +1,30 @@
+"""Figure 5: performance improvement and degradation caused by packing.
+
+Regenerates the four bars of Figure 5: the speedup of intra-job vertical
+packing and of horizontal packing over the unpacked plan, on a favourable
+and on an unfavourable input.  The expected shape: each transformation has
+one case above 1x (improvement) and one case at or below 1x, which is the
+motivation for costing packing decisions instead of always applying them.
+"""
+
+from conftest import run_once
+
+from repro.experiments import horizontal_packing_tradeoff, vertical_packing_tradeoff
+
+
+def test_fig5_vertical_packing_tradeoff(benchmark, cluster):
+    tradeoff = run_once(benchmark, lambda: vertical_packing_tradeoff(cluster))
+    print("\nFigure 5 (left): intra-job vertical packing, speedup over no packing")
+    print(f"  performance improvement : {tradeoff.favourable_speedup:5.2f}x")
+    print(f"  performance degradation : {tradeoff.unfavourable_speedup:5.2f}x")
+    assert tradeoff.favourable_speedup > 1.0
+    assert tradeoff.unfavourable_speedup < 1.0
+
+
+def test_fig5_horizontal_packing_tradeoff(benchmark, cluster):
+    tradeoff = run_once(benchmark, lambda: horizontal_packing_tradeoff(cluster))
+    print("\nFigure 5 (right): horizontal packing, speedup over no packing")
+    print(f"  performance improvement : {tradeoff.favourable_speedup:5.2f}x")
+    print(f"  performance degradation : {tradeoff.unfavourable_speedup:5.2f}x")
+    assert tradeoff.favourable_speedup > 1.0
+    assert tradeoff.unfavourable_speedup < tradeoff.favourable_speedup

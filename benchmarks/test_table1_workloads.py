@@ -1,0 +1,35 @@
+"""Table 1: the eight MapReduce workflows and their dataset sizes.
+
+Regenerates the rows of the paper's Table 1 — workflow abbreviation, name,
+and (logical) dataset size — from the workload builders, together with the
+job counts each workflow starts with.
+"""
+
+from conftest import run_once
+
+from repro.workloads import WORKLOAD_ORDER, build_workload
+
+PAPER_SIZES_GB = {
+    "IR": 264, "SN": 267, "LA": 500, "WG": 255, "BA": 550, "BR": 530, "PJ": 10, "US": 530,
+}
+
+
+def test_table1_workflows_and_dataset_sizes(benchmark):
+    def build_all():
+        return {abbr: build_workload(abbr, scale=0.1) for abbr in WORKLOAD_ORDER}
+
+    workloads = run_once(benchmark, build_all)
+
+    print("\nTable 1: MapReduce workflows and corresponding data sizes")
+    print(f"{'Abbr':<5} {'Workflow':<32} {'Jobs':>4} {'Paper GB':>9} {'Modelled GB':>12}")
+    for abbr in WORKLOAD_ORDER:
+        workload = workloads[abbr]
+        print(
+            f"{abbr:<5} {workload.name:<32} {workload.num_jobs:>4} "
+            f"{workload.paper_dataset_gb:>9.0f} {workload.logical_dataset_gb:>12.1f}"
+        )
+
+    for abbr, workload in workloads.items():
+        assert workload.paper_dataset_gb == PAPER_SIZES_GB[abbr]
+        assert abs(workload.logical_dataset_gb - PAPER_SIZES_GB[abbr]) / PAPER_SIZES_GB[abbr] < 0.02
+        workload.workflow.validate()

@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Makes the ``repro`` package importable straight from the source tree so the
+test and benchmark suites run even when the package has not been installed
+(e.g. on machines without the ``wheel`` package, where ``pip install -e .``
+cannot build editable metadata; ``python setup.py develop`` also works).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

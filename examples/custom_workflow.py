@@ -1,0 +1,94 @@
+"""Bring your own workflow: the program-based interface.
+
+Stubby optimizes *any* annotated MapReduce workflow, regardless of how it was
+generated (the paper's "interface spectrum").  This example plays the role of
+a workflow generator: it writes plain map/reduce callables for a two-job
+sessionization pipeline, wires them into a workflow with ``simple_job``,
+attaches schema annotations describing the key compositions, and hands the
+plan to Stubby.  The optimizer packs the second job into the first (its
+grouping key flows unchanged) and tunes the configurations.
+
+Run with::
+
+    python examples/custom_workflow.py
+"""
+
+from repro import ClusterSpec, StubbyOptimizer
+from repro.common.rng import DeterministicRNG
+from repro.dfs.dataset import Dataset
+from repro.dfs.layout import DataLayout, PartitionScheme
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import simple_job
+from repro.profiler import Profiler
+from repro.workflow.annotations import JobAnnotations, SchemaAnnotation
+from repro.workflow.graph import Workflow
+
+
+def click_map(key, value):
+    yield {"user": value["user"], "page": value["page"]}, {"dwell": value["dwell"]}
+
+
+def click_reduce(key, values):
+    yield key, {"visits": float(len(values)), "dwell": sum(v["dwell"] for v in values)}
+
+
+def session_map(key, value):
+    yield {"user": value["user"]}, {"visits": value["visits"], "dwell": value["dwell"]}
+
+
+def session_reduce(key, values):
+    yield key, {
+        "pages": float(len(values)),
+        "total_dwell": sum(v["dwell"] for v in values),
+        "total_visits": sum(v["visits"] for v in values),
+    }
+
+
+def generate_clicks(n=3_000, seed=1):
+    rng = DeterministicRNG(seed)
+    return [
+        {"user": f"u{rng.randint(1, 200):04d}", "page": f"p{rng.zipf(80):03d}", "dwell": rng.uniform(1, 300)}
+        for _ in range(n)
+    ]
+
+
+def main() -> None:
+    clicks = Dataset(
+        "clicks",
+        records=generate_clicks(),
+        layout=DataLayout(partitioning=PartitionScheme.hashed("user")),
+        scale_factor=5e5,  # pretend this is a few hundred GB of click logs
+    )
+
+    workflow = Workflow("sessionization")
+    per_page = simple_job(
+        "per_page_stats", "clicks", "page_stats", click_map, click_reduce,
+        group_fields=("user", "page"), config=JobConfig(num_reduce_tasks=16),
+    )
+    workflow.add_job(per_page, JobAnnotations(schema=SchemaAnnotation.of(
+        k1=["user"], v1=["user", "page", "dwell"],
+        k2=["user", "page"], v2=["dwell"],
+        k3=["user", "page"], v3=["visits", "dwell"],
+    )))
+    per_user = simple_job(
+        "per_user_sessions", "page_stats", "user_sessions", session_map, session_reduce,
+        group_fields=("user",), config=JobConfig(num_reduce_tasks=16),
+    )
+    workflow.add_job(per_user, JobAnnotations(schema=SchemaAnnotation.of(
+        k1=["user", "page"], v1=["user", "page", "visits", "dwell"],
+        k2=["user"], v2=["visits", "dwell"],
+        k3=["user"], v3=["pages", "total_dwell", "total_visits"],
+    )))
+
+    Profiler().profile_workflow(workflow, {"clicks": clicks})
+
+    result = StubbyOptimizer(ClusterSpec.paper_cluster()).optimize(workflow)
+    print(f"Jobs before/after: 2 -> {result.num_jobs}")
+    print("Transformations applied:")
+    for applied in result.plan.history:
+        print(f"  - {applied}")
+    print(result.plan.describe())
+
+
+if __name__ == "__main__":
+    main()

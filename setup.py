@@ -1,0 +1,7 @@
+"""Setuptools shim so `pip install -e .` works on environments without the
+`wheel` package (legacy editable installs go through `setup.py develop`).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

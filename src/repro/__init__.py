@@ -1,0 +1,34 @@
+"""Reproduction of *Stubby: A Transformation-based Optimizer for MapReduce
+Workflows* (Lim, Herodotou, Babu — VLDB 2012).
+
+The package is organised as a set of substrates (a local MapReduce execution
+engine, a simulated distributed file-system, a cluster cost model, a
+Starfish-style profiler and What-if engine) on top of which the paper's
+contribution — the Stubby optimizer — is implemented, together with the
+baseline optimizers and evaluation workflows used in the paper's experiments.
+
+Typical usage::
+
+    from repro import StubbyOptimizer, ClusterSpec
+    from repro.workloads import build_workload
+
+    workload = build_workload("IR", scale=0.05)
+    cluster = ClusterSpec.paper_cluster()
+    optimizer = StubbyOptimizer(cluster)
+    optimized = optimizer.optimize(workload.plan)
+"""
+
+from repro.cluster import ClusterSpec
+from repro.core.optimizer import StubbyOptimizer
+from repro.core.plan import Plan
+from repro.workflow.graph import Workflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "StubbyOptimizer",
+    "Plan",
+    "Workflow",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline and state-of-the-art comparator optimizers from the paper's §7.
+
+* :class:`PigBaselineOptimizer` — how Pig is used in production: rule-based
+  multi-query (horizontal) packing plus manually tuned rule-of-thumb
+  configurations.
+* :class:`StarfishOptimizer` — cost-based configuration transformations only
+  [8].
+* :class:`YSmartOptimizer` — rule-based vertical and horizontal packing that
+  aggressively minimizes the number of jobs [11], with rule-based
+  configurations.
+* :class:`MRShareOptimizer` — cost-based horizontal packing only [13], with
+  rule-based configurations.
+"""
+
+from repro.baselines.base import BaselineOptimizer
+from repro.baselines.pig_baseline import PigBaselineOptimizer
+from repro.baselines.starfish import StarfishOptimizer
+from repro.baselines.ysmart import YSmartOptimizer
+from repro.baselines.mrshare import MRShareOptimizer
+
+__all__ = [
+    "BaselineOptimizer",
+    "PigBaselineOptimizer",
+    "StarfishOptimizer",
+    "YSmartOptimizer",
+    "MRShareOptimizer",
+]

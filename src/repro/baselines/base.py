@@ -1,0 +1,48 @@
+"""Common interface shared by baseline optimizers."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.cluster import ClusterSpec
+from repro.core.optimizer import OptimizationResult
+from repro.core.plan import Plan
+from repro.whatif.model import WhatIfEngine
+from repro.workflow.graph import Workflow
+
+
+class BaselineOptimizer(ABC):
+    """Base class giving baselines the same ``optimize`` interface as Stubby."""
+
+    name = "baseline"
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.whatif = WhatIfEngine(cluster)
+
+    def optimize(self, plan_or_workflow) -> OptimizationResult:
+        """Optimize a plan (or raw workflow) with this baseline's strategy."""
+        plan = self._as_plan(plan_or_workflow)
+        started = time.perf_counter()
+        optimized = self._optimize_plan(plan.copy())
+        elapsed = time.perf_counter() - started
+        estimate = self.whatif.estimate_workflow(optimized.workflow)
+        return OptimizationResult(
+            plan=optimized,
+            estimated_cost_s=estimate.total_s,
+            optimization_time_s=elapsed,
+            optimizer=self.name,
+        )
+
+    @abstractmethod
+    def _optimize_plan(self, plan: Plan) -> Plan:
+        """Strategy-specific optimization of a private plan copy."""
+
+    @staticmethod
+    def _as_plan(plan_or_workflow) -> Plan:
+        if isinstance(plan_or_workflow, Plan):
+            return plan_or_workflow
+        if isinstance(plan_or_workflow, Workflow):
+            return Plan(plan_or_workflow)
+        raise TypeError("optimize() expects a Plan or a Workflow")

@@ -1,0 +1,5 @@
+"""Cluster resource model used by the execution simulator and cost model."""
+
+from repro.cluster.spec import ClusterSpec, NodeSpec
+
+__all__ = ["ClusterSpec", "NodeSpec"]

@@ -1,0 +1,31 @@
+"""Shared utilities: errors, deterministic random numbers, record helpers."""
+
+from repro.common.errors import (
+    AnnotationError,
+    CostModelError,
+    ExecutionError,
+    OptimizationError,
+    ReproError,
+    WorkflowValidationError,
+)
+from repro.common.records import (
+    project,
+    record_size_bytes,
+    records_equal,
+    sort_key_for,
+)
+from repro.common.rng import DeterministicRNG
+
+__all__ = [
+    "ReproError",
+    "AnnotationError",
+    "CostModelError",
+    "ExecutionError",
+    "OptimizationError",
+    "WorkflowValidationError",
+    "project",
+    "record_size_bytes",
+    "records_equal",
+    "sort_key_for",
+    "DeterministicRNG",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class WorkflowValidationError(ReproError):
+    """A workflow DAG is malformed (cycles, dangling edges, bad vertices)."""
+
+
+class AnnotationError(ReproError):
+    """An annotation is missing, inconsistent, or malformed."""
+
+
+class ExecutionError(ReproError):
+    """The local MapReduce engine failed to execute a job or workflow."""
+
+
+class CostModelError(ReproError):
+    """The What-if engine could not estimate a cost from the given inputs."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer produced or was given an invalid plan."""
+
+
+class InterfaceCompilationError(ReproError):
+    """The dataflow interface could not compile a logical plan to MapReduce."""

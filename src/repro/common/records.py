@@ -1,0 +1,100 @@
+"""Record helpers.
+
+A *record* throughout this package is a plain ``dict`` mapping field names to
+values.  Key-value pairs exchanged between MapReduce functions are
+``(key_record, value_record)`` tuples of such dicts.  Schema annotations
+(paper §2.2) describe keys and values as sets of field names, so dict-based
+records let the optimizer reason about "data flowing unchanged" by field name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+Record = Dict[str, object]
+KeyValue = Tuple[Record, Record]
+
+
+def project(record: Mapping[str, object], fields: Iterable[str]) -> Record:
+    """Return a new record containing only ``fields`` (missing fields skipped)."""
+    return {field: record[field] for field in fields if field in record}
+
+
+def merge(*records: Mapping[str, object]) -> Record:
+    """Merge records left to right; later records win on field collisions."""
+    merged: Record = {}
+    for record in records:
+        merged.update(record)
+    return merged
+
+
+def sort_key_for(record: Mapping[str, object], fields: Sequence[str]) -> tuple:
+    """Build a tuple usable as a sort/group key over ``fields``.
+
+    Values are wrapped with their type name so heterogeneous columns (e.g.
+    ``None`` mixed with ints) still compare deterministically.
+    """
+    key = []
+    for field in fields:
+        value = record.get(field)
+        if value is None:
+            key.append((0, ""))
+        elif isinstance(value, bool):
+            key.append((1, int(value)))
+        elif isinstance(value, (int, float)):
+            key.append((2, float(value)))
+        else:
+            key.append((3, str(value)))
+    return tuple(key)
+
+
+def record_size_bytes(record: Mapping[str, object]) -> int:
+    """Rough serialized size of a record, used for byte-level dataflow stats.
+
+    The estimate mirrors a simple text serialization: 8 bytes per numeric
+    field, string length for strings, plus 2 bytes of per-field overhead.
+    """
+    size = 0
+    for field, value in record.items():
+        size += 2
+        if value is None:
+            size += 1
+        elif isinstance(value, (int, float, bool)):
+            size += 8
+        else:
+            size += len(str(value))
+        size += len(field) // 4  # amortized field-name overhead
+    return max(size, 1)
+
+
+def records_equal(
+    left: Iterable[Mapping[str, object]],
+    right: Iterable[Mapping[str, object]],
+) -> bool:
+    """Order-insensitive multiset equality of two record collections.
+
+    Used by correctness tests to check that a transformed plan P+ produces
+    the same result as the original plan P−.
+    """
+    def canonical(records: Iterable[Mapping[str, object]]) -> list:
+        normalized = []
+        for record in records:
+            normalized.append(tuple(sorted((k, _normalize(v)) for k, v in record.items())))
+        return sorted(normalized)
+
+    return canonical(left) == canonical(right)
+
+
+def _normalize(value: object) -> tuple:
+    """Map a value to a totally ordered, type-tagged representation."""
+    if value is None:
+        return ("none", "")
+    if isinstance(value, bool):
+        return ("bool", str(value))
+    if isinstance(value, float) and value.is_integer():
+        return ("num", int(value))
+    if isinstance(value, float):
+        return ("num", round(value, 9))
+    if isinstance(value, int):
+        return ("num", value)
+    return ("str", str(value))

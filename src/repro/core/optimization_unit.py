@@ -1,0 +1,121 @@
+"""Dynamic generation of optimization units (paper §4.1).
+
+An optimization unit brings together a set of related decisions that affect
+each other but are independent of decisions made at other units: it consists
+of a set of concurrently runnable *producer* jobs plus their direct
+*consumer* jobs.  Units are generated dynamically while traversing the
+workflow graph in topological order, because transformations applied inside a
+unit can change the graph (Figure 9: after J3 and J4 are packed into J4', the
+next unit is built around J4').
+
+The generator below maintains the set of job names that have already served
+as producers ("handled").  At each step the next unit's producers are the
+jobs all of whose upstream jobs are handled; a job created by merging a
+producer with its consumer is *not* handled, so it becomes a producer of a
+later unit — exactly the dynamic behaviour of Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Set, Tuple
+
+from repro.core.plan import Plan
+
+
+@dataclass(frozen=True)
+class OptimizationUnit:
+    """One optimization unit: producer jobs and their direct consumers."""
+
+    producers: Tuple[str, ...]
+    consumers: Tuple[str, ...]
+
+    @property
+    def jobs(self) -> Tuple[str, ...]:
+        """All job names in the unit (producers first, then consumers)."""
+        seen = set()
+        ordered: List[str] = []
+        for name in self.producers + self.consumers:
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        return tuple(ordered)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"U(producers={list(self.producers)}, consumers={list(self.consumers)})"
+
+
+class OptimizationUnitGenerator:
+    """Generates optimization units dynamically as the plan evolves.
+
+    Usage::
+
+        generator = OptimizationUnitGenerator()
+        unit = generator.next_unit(plan)
+        while unit is not None:
+            plan = optimize_unit_somehow(plan, unit)
+            generator.mark_handled(plan, unit)
+            unit = generator.next_unit(plan)
+    """
+
+    def __init__(self) -> None:
+        self._handled: Set[str] = set()
+        self._emitted: List[OptimizationUnit] = []
+
+    @property
+    def handled(self) -> Set[str]:
+        """Names of jobs that have already served as unit producers."""
+        return set(self._handled)
+
+    @property
+    def units_emitted(self) -> List[OptimizationUnit]:
+        """Every unit generated so far, in order."""
+        return list(self._emitted)
+
+    def next_unit(self, plan: Plan) -> "OptimizationUnit | None":
+        """The next optimization unit of ``plan``, or ``None`` when done."""
+        workflow = plan.workflow
+        producers: List[str] = []
+        for vertex in workflow.topological_order():
+            if vertex.name in self._handled:
+                continue
+            upstream = workflow.producer_jobs(vertex.name)
+            if all(up.name in self._handled for up in upstream):
+                producers.append(vertex.name)
+        if not producers:
+            return None
+        consumers: List[str] = []
+        for producer_name in producers:
+            for consumer in workflow.consumer_jobs(producer_name):
+                if consumer.name not in consumers and consumer.name not in producers:
+                    consumers.append(consumer.name)
+        unit = OptimizationUnit(producers=tuple(producers), consumers=tuple(consumers))
+        self._emitted.append(unit)
+        return unit
+
+    def mark_handled(self, plan: Plan, unit: OptimizationUnit) -> None:
+        """Record which of the unit's producers still exist and are now handled.
+
+        Producers that were merged away (their name no longer exists in the
+        plan) are dropped; merged jobs keep their new names un-handled so they
+        become producers of a later unit.
+        """
+        workflow = plan.workflow
+        for name in unit.producers:
+            if workflow.has_job(name):
+                self._handled.add(name)
+        # Drop handled names that no longer exist to keep the set tidy.
+        self._handled = {name for name in self._handled if workflow.has_job(name)}
+
+    def iterate(self, plan: Plan) -> Iterator[OptimizationUnit]:
+        """Iterate units over a *static* plan (no transformations applied).
+
+        Useful for inspecting the unit structure of a workflow without
+        optimizing it.
+        """
+        while True:
+            unit = self.next_unit(plan)
+            if unit is None:
+                return
+            self.mark_handled(plan, unit)
+            yield unit

@@ -1,0 +1,135 @@
+"""The Stubby optimizer facade.
+
+:class:`StubbyOptimizer` wires together the transformation groups, the
+two-phase greedy search, Recursive Random Search, and the What-if engine.
+It exposes the paper's three evaluated variants:
+
+* **Stubby** — both the Vertical and Horizontal transformation groups;
+* **Vertical** — only the Vertical group (plus partition-function and
+  configuration transformations);
+* **Horizontal** — only the Horizontal group (plus partition-function and
+  configuration transformations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cluster import ClusterSpec
+from repro.core.plan import Plan
+from repro.core.rrs import RecursiveRandomSearch
+from repro.core.search import StubbySearch, UnitReport
+from repro.core.transformations import (
+    HorizontalPacking,
+    InterJobVerticalPacking,
+    IntraJobVerticalPacking,
+    PartitionFunctionTransformation,
+)
+from repro.whatif.model import WhatIfEngine
+from repro.workflow.graph import Workflow
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run."""
+
+    plan: Plan
+    estimated_cost_s: float
+    optimization_time_s: float
+    optimizer: str
+    unit_reports: List[UnitReport] = field(default_factory=list)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the optimized plan."""
+        return self.plan.num_jobs
+
+    @property
+    def transformations_applied(self) -> List[str]:
+        """Names of all transformations recorded in the optimized plan."""
+        return self.plan.transformations_applied()
+
+
+class StubbyOptimizer:
+    """Cost-based, transformation-based optimizer for MapReduce workflows."""
+
+    name = "Stubby"
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        phases: Sequence[str] = ("vertical", "horizontal"),
+        rrs: Optional[RecursiveRandomSearch] = None,
+        allow_extended_horizontal: bool = True,
+        optimize_configurations: bool = True,
+        seed: int = 17,
+    ) -> None:
+        for phase in phases:
+            if phase not in ("vertical", "horizontal"):
+                raise ValueError(f"unknown phase {phase!r}")
+        self.cluster = cluster
+        self.phases = tuple(phases)
+        self.whatif = WhatIfEngine(cluster)
+        vertical = [
+            IntraJobVerticalPacking(),
+            InterJobVerticalPacking(),
+            PartitionFunctionTransformation(),
+        ]
+        horizontal = [
+            HorizontalPacking(allow_extended=allow_extended_horizontal),
+            PartitionFunctionTransformation(),
+        ]
+        self.search = StubbySearch(
+            cluster=cluster,
+            vertical_transformations=vertical,
+            horizontal_transformations=horizontal,
+            rrs=rrs,
+            seed=seed,
+            optimize_configurations=optimize_configurations,
+        )
+
+    # ------------------------------------------------------------------ API
+    def optimize(self, plan_or_workflow) -> OptimizationResult:
+        """Optimize a plan (or raw workflow) and return the optimized result."""
+        plan = self._as_plan(plan_or_workflow)
+        started = time.perf_counter()
+        optimized, reports = self.search.run(plan, phases=self.phases)
+        elapsed = time.perf_counter() - started
+        estimate = self.whatif.estimate_workflow(optimized.workflow)
+        return OptimizationResult(
+            plan=optimized,
+            estimated_cost_s=estimate.total_s,
+            optimization_time_s=elapsed,
+            optimizer=self.variant_name,
+            unit_reports=reports,
+        )
+
+    @property
+    def variant_name(self) -> str:
+        """Stubby / Vertical / Horizontal, depending on the enabled phases."""
+        if self.phases == ("vertical",):
+            return "Vertical"
+        if self.phases == ("horizontal",):
+            return "Horizontal"
+        return self.name
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _as_plan(plan_or_workflow) -> Plan:
+        if isinstance(plan_or_workflow, Plan):
+            return plan_or_workflow
+        if isinstance(plan_or_workflow, Workflow):
+            return Plan(plan_or_workflow)
+        raise TypeError("optimize() expects a Plan or a Workflow")
+
+    @classmethod
+    def vertical_only(cls, cluster: ClusterSpec, **kwargs) -> "StubbyOptimizer":
+        """The paper's *Vertical* variant (§7.2)."""
+        return cls(cluster, phases=("vertical",), **kwargs)
+
+    @classmethod
+    def horizontal_only(cls, cluster: ClusterSpec, **kwargs) -> "StubbyOptimizer":
+        """The paper's *Horizontal* variant (§7.2)."""
+        return cls(cluster, phases=("horizontal",), **kwargs)

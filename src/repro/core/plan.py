@@ -1,0 +1,131 @@
+"""Plans: annotated MapReduce workflows plus the transformations applied so far.
+
+"Stubby accepts input in the form of an annotated MapReduce workflow — which
+we call a plan — and returns an equivalent, but optimized, plan" (paper §1.1).
+A :class:`Plan` therefore wraps a :class:`~repro.workflow.graph.Workflow` and
+keeps a history of the transformation applications that produced it, which
+the experiments use for reporting and the tests use to assert which
+transformations fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapreduce.config import JobConfig
+from repro.workflow.graph import JobVertex, Workflow
+
+
+@dataclass(frozen=True)
+class AppliedTransformation:
+    """One transformation application recorded in a plan's history."""
+
+    transformation: str
+    target_jobs: Tuple[str, ...]
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.transformation}({', '.join(self.target_jobs)})"
+
+
+class Plan:
+    """An annotated workflow together with its transformation history."""
+
+    def __init__(self, workflow: Workflow, history: Optional[List[AppliedTransformation]] = None) -> None:
+        self.workflow = workflow
+        self.history: List[AppliedTransformation] = list(history or [])
+
+    # ------------------------------------------------------------- plumbing
+    def copy(self) -> "Plan":
+        """Independent copy (workflow deep-copied, history duplicated)."""
+        return Plan(self.workflow.copy(), history=list(self.history))
+
+    def record(self, applied: AppliedTransformation) -> None:
+        """Append a transformation application to the history."""
+        self.history.append(applied)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the plan's workflow."""
+        return self.workflow.num_jobs
+
+    @property
+    def job_names(self) -> List[str]:
+        """Job names in insertion order."""
+        return self.workflow.job_names
+
+    def job(self, name: str) -> JobVertex:
+        """Fetch a job vertex by name."""
+        return self.workflow.job(name)
+
+    def transformations_applied(self) -> List[str]:
+        """Names of the transformations applied, in order."""
+        return [applied.transformation for applied in self.history]
+
+    def count_applied(self, transformation_name: str) -> int:
+        """How many times a given transformation was applied."""
+        return sum(1 for applied in self.history if applied.transformation == transformation_name)
+
+    # ------------------------------------------------------------ mutation
+    def set_job_config(self, job_name: str, config: JobConfig) -> None:
+        """Replace one job's configuration in place."""
+        vertex = self.workflow.job(job_name)
+        vertex.job = vertex.job.with_config(config)
+
+    def signature(self) -> Tuple:
+        """A structural signature used to deduplicate enumerated subplans.
+
+        Two plans with the same jobs, pipelines, partition functions, and
+        pruning filters are considered structurally identical (their
+        configurations may still differ — configurations are searched
+        separately by RRS).
+        """
+        parts = []
+        for vertex in self.workflow.jobs:
+            job = vertex.job
+            partitioner = job.effective_partitioner
+            pipelines = tuple(
+                (
+                    pipeline.tag,
+                    tuple(pipeline.input_datasets),
+                    tuple(op.name for op in pipeline.map_ops),
+                    tuple(op.name for op in pipeline.reduce_ops),
+                    pipeline.output_dataset,
+                    tuple(sorted(
+                        (name, tuple(indexes))
+                        for name, indexes in pipeline.input_partition_filter.items()
+                    )),
+                )
+                for pipeline in job.pipelines
+            )
+            parts.append(
+                (
+                    job.name,
+                    pipelines,
+                    partitioner.kind,
+                    tuple(partitioner.fields),
+                    tuple(partitioner.effective_sort_fields),
+                    tuple(partitioner.split_points),
+                    job.config.chained_input,
+                )
+            )
+        return tuple(sorted(parts))
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the plan."""
+        lines = [f"Plan for workflow {self.workflow.name!r} ({self.num_jobs} jobs)"]
+        for vertex in self.workflow.topological_order():
+            job = vertex.job
+            shape = "map-only" if job.is_map_only else f"{job.config.num_reduce_tasks} reduce tasks"
+            lines.append(
+                f"  {job.name}: {len(job.pipelines)} pipeline(s), {shape}, "
+                f"inputs={list(job.input_datasets)}, outputs={list(job.output_datasets)}"
+            )
+        if self.history:
+            lines.append("  applied: " + ", ".join(str(applied) for applied in self.history))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Plan(workflow={self.workflow.name!r}, jobs={self.num_jobs}, applied={len(self.history)})"

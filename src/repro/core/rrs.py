@@ -1,0 +1,136 @@
+"""Recursive Random Search (RRS) over configuration spaces.
+
+Stubby uses RRS [24] to search the large, high-dimensional configuration
+space of each enumerated subplan (paper §4.2).  RRS alternates two phases:
+
+* **explore** — sample the space uniformly at random to find a promising
+  region (a point whose cost is in the best fraction seen so far);
+* **exploit** — sample recursively inside a shrinking neighbourhood of the
+  best point, re-centring on improvements and shrinking on failures, until
+  the neighbourhood collapses; then restart exploration.
+
+The implementation is deterministic given its RNG seed, which keeps the
+optimizer's output reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.common.rng import DeterministicRNG
+from repro.mapreduce.config import ConfigurationSpace
+
+Objective = Callable[[Mapping[str, object]], float]
+
+
+@dataclass
+class RRSResult:
+    """Outcome of one RRS run."""
+
+    best_point: Dict[str, object]
+    best_value: float
+    evaluations: int
+    trajectory: List[float] = field(default_factory=list)
+
+
+class RecursiveRandomSearch:
+    """Minimize a black-box objective over a :class:`ConfigurationSpace`."""
+
+    def __init__(
+        self,
+        exploration_samples: int = 12,
+        exploitation_samples: int = 10,
+        initial_radius: float = 0.3,
+        shrink_factor: float = 0.5,
+        min_radius: float = 0.05,
+        restarts: int = 2,
+        seed: int = 13,
+    ) -> None:
+        if exploration_samples <= 0 or exploitation_samples <= 0:
+            raise ValueError("sample counts must be positive")
+        if not 0.0 < shrink_factor < 1.0:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        self.exploration_samples = exploration_samples
+        self.exploitation_samples = exploitation_samples
+        self.initial_radius = initial_radius
+        self.shrink_factor = shrink_factor
+        self.min_radius = min_radius
+        self.restarts = restarts
+        self.seed = seed
+
+    def search(
+        self,
+        space: ConfigurationSpace,
+        objective: Objective,
+        initial_point: Optional[Mapping[str, object]] = None,
+        rng: Optional[DeterministicRNG] = None,
+    ) -> RRSResult:
+        """Run RRS and return the best point found.
+
+        ``initial_point`` (typically the job's current configuration) is
+        always evaluated first so the search can never return something worse
+        than the starting configuration.
+        """
+        rng = rng or DeterministicRNG(self.seed)
+        evaluations = 0
+        trajectory: List[float] = []
+
+        best_point: Dict[str, object] = {}
+        best_value = float("inf")
+
+        if not space.dimensions:
+            value = objective({})
+            return RRSResult(best_point={}, best_value=value, evaluations=1, trajectory=[value])
+
+        if initial_point is not None:
+            candidate = space.clamp(initial_point)
+            value = objective(candidate)
+            evaluations += 1
+            trajectory.append(value)
+            best_point, best_value = candidate, value
+
+        for _ in range(self.restarts):
+            # Exploration phase.
+            region_center = None
+            region_value = float("inf")
+            for _ in range(self.exploration_samples):
+                candidate = space.sample(rng)
+                value = objective(candidate)
+                evaluations += 1
+                trajectory.append(value)
+                if value < region_value:
+                    region_center, region_value = candidate, value
+                if value < best_value:
+                    best_point, best_value = candidate, value
+
+            if region_center is None:
+                continue
+
+            # Exploitation phase: recursive re-centring/shrinking.  The round
+            # cap bounds the run when the objective keeps improving slightly.
+            radius = self.initial_radius
+            center, center_value = dict(region_center), region_value
+            rounds = 0
+            while radius >= self.min_radius and rounds < 12:
+                rounds += 1
+                improved = False
+                for _ in range(self.exploitation_samples):
+                    candidate = space.sample_near(center, radius, rng)
+                    value = objective(candidate)
+                    evaluations += 1
+                    trajectory.append(value)
+                    if value < center_value:
+                        center, center_value = dict(candidate), value
+                        improved = True
+                    if value < best_value:
+                        best_point, best_value = dict(candidate), value
+                if not improved:
+                    radius *= self.shrink_factor
+
+        return RRSResult(
+            best_point=best_point,
+            best_value=best_value,
+            evaluations=evaluations,
+            trajectory=trajectory,
+        )

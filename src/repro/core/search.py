@@ -1,0 +1,285 @@
+"""Stubby's two-phase greedy enumeration and search strategy (paper §4).
+
+The search traverses the workflow graph twice.  In the first phase the
+Vertical-group transformations (intra- and inter-job vertical packing, plus
+the partition-function transformation) are applied within dynamically
+generated optimization units; in the second phase the Horizontal-group
+transformations are applied the same way.  Within each unit:
+
+1. all combinations of the (non-configuration) transformations applicable to
+   the unit's jobs are enumerated exhaustively, producing the unit's
+   candidate subplans ``p1..pn`` (Figure 10);
+2. Recursive Random Search finds the best configuration transformation for
+   every candidate subplan, using the What-if engine to cost each sampled
+   configuration;
+3. the candidate with the lowest estimated cost is retained and the search
+   moves to the next unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.common.rng import DeterministicRNG
+from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
+from repro.core.plan import Plan
+from repro.core.rrs import RecursiveRandomSearch
+from repro.core.transformations.base import Transformation, TransformationApplication
+from repro.core.transformations.configuration import ConfigurationTransformation
+from repro.mapreduce.config import ConfigDimension, ConfigurationSpace
+from repro.whatif.model import WhatIfEngine
+
+#: Caps keeping the exhaustive enumeration inside a unit bounded; in practice
+#: (paper §4.2) the number of unique subplans per unit is small.
+MAX_SUBPLANS_PER_UNIT = 24
+MAX_ENUMERATION_DEPTH = 6
+
+
+@dataclass
+class SubplanRecord:
+    """One candidate subplan enumerated inside an optimization unit."""
+
+    plan: Plan
+    transformations: Tuple[str, ...]
+    estimated_cost: float = float("inf")
+    best_settings: Dict[str, Mapping[str, object]] = field(default_factory=dict)
+    rrs_evaluations: int = 0
+
+
+@dataclass
+class UnitReport:
+    """Everything the search did inside one optimization unit."""
+
+    unit: OptimizationUnit
+    phase: str
+    subplans: List[SubplanRecord] = field(default_factory=list)
+    chosen_index: int = -1
+
+    @property
+    def chosen(self) -> Optional[SubplanRecord]:
+        """The subplan that was retained for this unit."""
+        if 0 <= self.chosen_index < len(self.subplans):
+            return self.subplans[self.chosen_index]
+        return None
+
+
+class StubbySearch:
+    """Greedy, unit-by-unit plan search over the transformation space."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        vertical_transformations: Sequence[Transformation],
+        horizontal_transformations: Sequence[Transformation],
+        rrs: Optional[RecursiveRandomSearch] = None,
+        seed: int = 17,
+        optimize_configurations: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.whatif = WhatIfEngine(cluster)
+        self.vertical_transformations = list(vertical_transformations)
+        self.horizontal_transformations = list(horizontal_transformations)
+        self.rrs = rrs or RecursiveRandomSearch(
+            exploration_samples=10, exploitation_samples=8, restarts=1, seed=seed
+        )
+        self.optimize_configurations = optimize_configurations
+        self._rng = DeterministicRNG(seed)
+
+    # ------------------------------------------------------------------ API
+    def run(self, plan: Plan, phases: Sequence[str] = ("vertical", "horizontal")) -> Tuple[Plan, List[UnitReport]]:
+        """Run the requested phases over the plan; returns the optimized plan."""
+        reports: List[UnitReport] = []
+        current = plan
+        for phase in phases:
+            transformations = (
+                self.vertical_transformations if phase == "vertical" else self.horizontal_transformations
+            )
+            current, phase_reports = self._run_phase(current, transformations, phase)
+            reports.extend(phase_reports)
+        return current, reports
+
+    # ---------------------------------------------------------------- phase
+    def _run_phase(
+        self,
+        plan: Plan,
+        transformations: Sequence[Transformation],
+        phase: str,
+    ) -> Tuple[Plan, List[UnitReport]]:
+        generator = OptimizationUnitGenerator()
+        reports: List[UnitReport] = []
+        current = plan
+        while True:
+            unit = generator.next_unit(current)
+            if unit is None:
+                break
+            current, report = self.optimize_unit(current, unit, transformations, phase)
+            reports.append(report)
+            generator.mark_handled(current, unit)
+        return current, reports
+
+    # ----------------------------------------------------------------- unit
+    def optimize_unit(
+        self,
+        plan: Plan,
+        unit: OptimizationUnit,
+        transformations: Sequence[Transformation],
+        phase: str = "vertical",
+    ) -> Tuple[Plan, UnitReport]:
+        """Enumerate, cost, and pick the best subplan for one unit."""
+        report = UnitReport(unit=unit, phase=phase)
+        candidates = self.enumerate_subplans(plan, unit, transformations)
+
+        best_index = -1
+        best_cost = float("inf")
+        for index, record in enumerate(candidates):
+            cost, settings, evaluations = self._cost_with_configurations(record.plan, record_unit_jobs(record, unit))
+            record.estimated_cost = cost
+            record.best_settings = settings
+            record.rrs_evaluations = evaluations
+            report.subplans.append(record)
+            if cost < best_cost:
+                best_cost = cost
+                best_index = index
+
+        report.chosen_index = best_index
+        if best_index < 0:
+            return plan, report
+
+        chosen = report.subplans[best_index]
+        optimized = chosen.plan.copy()
+        if chosen.best_settings:
+            ConfigurationTransformation.apply_settings_in_place(optimized, chosen.best_settings)
+            for job_name, settings in chosen.best_settings.items():
+                optimized.record(
+                    ConfigurationTransformation.application_for(job_name, settings).as_applied()
+                )
+        return optimized, report
+
+    # ----------------------------------------------------------- enumeration
+    def enumerate_subplans(
+        self,
+        plan: Plan,
+        unit: OptimizationUnit,
+        transformations: Sequence[Transformation],
+    ) -> List[SubplanRecord]:
+        """Exhaustively enumerate the unit's subplans (configuration excluded)."""
+        structural = [t for t in transformations if t.name != ConfigurationTransformation.name]
+        initial = SubplanRecord(plan=plan.copy(), transformations=())
+        seen = {plan.signature()}
+        results: List[SubplanRecord] = [initial]
+        frontier: List[Tuple[SubplanRecord, Tuple[str, ...]]] = [(initial, unit.jobs)]
+        depth = 0
+
+        while frontier and depth < MAX_ENUMERATION_DEPTH and len(results) < MAX_SUBPLANS_PER_UNIT:
+            next_frontier: List[Tuple[SubplanRecord, Tuple[str, ...]]] = []
+            for record, unit_jobs in frontier:
+                for transformation in structural:
+                    for application in transformation.find_applications(record.plan, unit_jobs):
+                        new_plan = transformation.apply(record.plan, application)
+                        signature = new_plan.signature()
+                        if signature in seen:
+                            continue
+                        seen.add(signature)
+                        new_unit_jobs = self._updated_unit_jobs(record.plan, new_plan, unit_jobs)
+                        new_record = SubplanRecord(
+                            plan=new_plan,
+                            transformations=record.transformations + (transformation.name,),
+                        )
+                        results.append(new_record)
+                        next_frontier.append((new_record, new_unit_jobs))
+                        if len(results) >= MAX_SUBPLANS_PER_UNIT:
+                            break
+                    if len(results) >= MAX_SUBPLANS_PER_UNIT:
+                        break
+                if len(results) >= MAX_SUBPLANS_PER_UNIT:
+                    break
+            frontier = next_frontier
+            depth += 1
+        return results
+
+    @staticmethod
+    def _updated_unit_jobs(old_plan: Plan, new_plan: Plan, unit_jobs: Tuple[str, ...]) -> Tuple[str, ...]:
+        old_names = set(old_plan.workflow.job_names)
+        new_names = set(new_plan.workflow.job_names)
+        created = [name for name in new_plan.workflow.job_names if name not in old_names]
+        surviving = [name for name in unit_jobs if name in new_names]
+        return tuple(surviving + [name for name in created if name not in surviving])
+
+    # ------------------------------------------------------------- costing
+    def _cost_with_configurations(
+        self,
+        plan: Plan,
+        unit_jobs: Sequence[str],
+    ) -> Tuple[float, Dict[str, Mapping[str, object]], int]:
+        baseline_estimate = self.whatif.estimate_workflow(plan.workflow)
+        if baseline_estimate.cost_basis != "whatif" or not self.optimize_configurations:
+            return baseline_estimate.total_s, {}, 0
+
+        jobs_to_tune = [name for name in unit_jobs if plan.workflow.has_job(name)]
+        if not jobs_to_tune:
+            return baseline_estimate.total_s, {}, 0
+
+        space, initial = self._joint_space(plan, jobs_to_tune)
+        if not space.dimensions:
+            return baseline_estimate.total_s, {}, 0
+
+        def objective(point: Mapping[str, object]) -> float:
+            candidate = plan.copy()
+            ConfigurationTransformation.apply_settings_in_place(
+                candidate, self._split_point(point)
+            )
+            return self.whatif.estimate_workflow(candidate.workflow).total_s
+
+        result = self.rrs.search(space, objective, initial_point=initial, rng=self._rng.fork(str(sorted(jobs_to_tune))))
+        best_settings = self._split_point(result.best_point)
+        best_cost = min(result.best_value, baseline_estimate.total_s)
+        if result.best_value > baseline_estimate.total_s:
+            best_settings = {}
+        return best_cost, best_settings, result.evaluations
+
+    def _joint_space(self, plan: Plan, job_names: Sequence[str]) -> Tuple[ConfigurationSpace, Dict[str, object]]:
+        dimensions: List[ConfigDimension] = []
+        initial: Dict[str, object] = {}
+        for job_name in job_names:
+            job_space = ConfigurationTransformation.space_for_job(plan, job_name, self.cluster)
+            current = plan.workflow.job(job_name).job.config.as_dict()
+            for dim in job_space.dimensions:
+                prefixed = ConfigDimension(
+                    name=f"{job_name}::{dim.name}", kind=dim.kind, low=dim.low, high=dim.high
+                )
+                dimensions.append(prefixed)
+                if dim.name in current:
+                    initial[prefixed.name] = current[dim.name]
+        return ConfigurationSpace(dimensions=dimensions), initial
+
+    @staticmethod
+    def _split_point(point: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+        by_job: Dict[str, Dict[str, object]] = {}
+        for name, value in point.items():
+            if "::" not in name:
+                continue
+            job_name, param = name.split("::", 1)
+            by_job.setdefault(job_name, {})[param] = value
+        return by_job
+
+
+def record_unit_jobs(record: SubplanRecord, unit: OptimizationUnit) -> Tuple[str, ...]:
+    """Unit job names that still exist in a candidate subplan, plus merges.
+
+    Merged jobs are detected by name convention (they contain a ``+``) and by
+    membership: any job of the candidate plan that is not part of the
+    original plan's unit but was created by packing unit jobs keeps the unit's
+    configuration search focused on the right jobs.
+    """
+    names = set(record.plan.workflow.job_names)
+    surviving = [name for name in unit.jobs if name in names]
+    unit_set = set(unit.jobs)
+    for name in record.plan.workflow.job_names:
+        if name in surviving:
+            continue
+        parts = name.split("+")
+        if len(parts) > 1 and any(part in unit_set for part in parts):
+            surviving.append(name)
+    return tuple(surviving)

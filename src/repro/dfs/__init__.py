@@ -1,0 +1,14 @@
+"""Simulated distributed file-system: datasets, layouts, and partitions."""
+
+from repro.dfs.dataset import Dataset, DatasetPartition
+from repro.dfs.layout import DataLayout, PartitionScheme, RangePartitioning
+from repro.dfs.filesystem import InMemoryFileSystem
+
+__all__ = [
+    "Dataset",
+    "DatasetPartition",
+    "DataLayout",
+    "PartitionScheme",
+    "RangePartitioning",
+    "InMemoryFileSystem",
+]

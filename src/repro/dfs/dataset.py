@@ -1,0 +1,178 @@
+"""In-memory datasets standing in for files on a distributed file-system.
+
+A :class:`Dataset` is the payload behind a dataset vertex of the workflow
+DAG.  It holds records partitioned into :class:`DatasetPartition` objects
+according to its :class:`~repro.dfs.layout.DataLayout`, plus the aggregate
+statistics (record count, raw byte size) the cost model needs.
+
+Datasets are deliberately simple: lists of dict records.  The evaluation
+datasets are generated at megabyte scale (see ``repro.workloads.datagen``)
+and the cluster cost model scales simulated time with byte counts, so the
+behaviourally relevant quantities — selectivities, key cardinalities, and
+read-sharing opportunities — are preserved at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.records import Record, record_size_bytes, sort_key_for
+from repro.dfs.layout import DataLayout, PartitionScheme
+
+
+@dataclass
+class DatasetPartition:
+    """One stored partition (file) of a dataset."""
+
+    index: int
+    records: List[Record] = field(default_factory=list)
+
+    @property
+    def num_records(self) -> int:
+        """Number of records in this partition."""
+        return len(self.records)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed serialized size of this partition."""
+        return sum(record_size_bytes(record) for record in self.records)
+
+
+class Dataset:
+    """A named, partitioned collection of records with a physical layout."""
+
+    def __init__(
+        self,
+        name: str,
+        records: Optional[Iterable[Record]] = None,
+        layout: Optional[DataLayout] = None,
+        scale_factor: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.layout = layout or DataLayout()
+        #: Multiplier applied to byte/record counts when reporting logical
+        #: size.  Workloads generate MB-scale data but describe the logical
+        #: dataset the paper used (hundreds of GB) through this factor.
+        self.scale_factor = scale_factor
+        self._partitions: List[DatasetPartition] = []
+        if records is not None:
+            self.load(records)
+
+    # ------------------------------------------------------------------ load
+    def load(self, records: Iterable[Record]) -> None:
+        """(Re)load the dataset contents, partitioning per the layout."""
+        materialized = list(records)
+        scheme = self.layout.partitioning
+        if scheme.kind == "range" and scheme.ranges is not None:
+            buckets: Dict[int, List[Record]] = {
+                i: [] for i in range(scheme.ranges.num_partitions)
+            }
+            for record in materialized:
+                buckets[scheme.ranges.partition_index(record.get(scheme.ranges.field))].append(record)
+            self._partitions = [
+                DatasetPartition(index=i, records=bucket) for i, bucket in sorted(buckets.items())
+            ]
+        elif scheme.kind == "hash":
+            num_partitions = max(1, min(16, len(materialized) // 64 + 1))
+            buckets = {i: [] for i in range(num_partitions)}
+            for record in materialized:
+                key = tuple(record.get(f) for f in scheme.fields)
+                buckets[hash(key) % num_partitions].append(record)
+            self._partitions = [
+                DatasetPartition(index=i, records=bucket) for i, bucket in sorted(buckets.items())
+            ]
+        else:
+            self._partitions = [DatasetPartition(index=0, records=materialized)]
+        if self.layout.sort_fields:
+            for partition in self._partitions:
+                partition.records.sort(
+                    key=lambda record: sort_key_for(record, self.layout.sort_fields)
+                )
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def partitions(self) -> List[DatasetPartition]:
+        """The stored partitions, in index order."""
+        return self._partitions
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of stored partitions."""
+        return len(self._partitions)
+
+    @property
+    def num_records(self) -> int:
+        """Total record count (unscaled, i.e. the in-memory count)."""
+        return sum(p.num_records for p in self._partitions)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Total uncompressed serialized size in bytes (unscaled)."""
+        return sum(p.raw_bytes for p in self._partitions)
+
+    @property
+    def stored_bytes(self) -> float:
+        """Bytes on the DFS after compression (unscaled)."""
+        return self.layout.stored_bytes(self.raw_bytes)
+
+    @property
+    def logical_bytes(self) -> float:
+        """Scaled byte size representing the paper-scale dataset."""
+        return self.raw_bytes * self.scale_factor
+
+    @property
+    def logical_records(self) -> float:
+        """Scaled record count representing the paper-scale dataset."""
+        return self.num_records * self.scale_factor
+
+    def records(self, partition_indexes: Optional[Sequence[int]] = None) -> Iterator[Record]:
+        """Iterate records, optionally restricted to some partitions.
+
+        Restricting to a subset of partition indexes is how partition pruning
+        manifests at execution time.
+        """
+        for partition in self._partitions:
+            if partition_indexes is not None and partition.index not in partition_indexes:
+                continue
+            for record in partition.records:
+                yield dict(record)
+
+    def all_records(self) -> List[Record]:
+        """All records as a list of copies."""
+        return list(self.records())
+
+    def distinct_count(self, fields: Sequence[str]) -> int:
+        """Number of distinct value combinations over ``fields``."""
+        seen = set()
+        for record in self.records():
+            seen.add(tuple(str(record.get(f)) for f in fields))
+        return len(seen)
+
+    def field_range(self, field_name: str) -> Optional[tuple]:
+        """(min, max) of a numeric field, or ``None`` if absent/non-numeric."""
+        values = [
+            record[field_name]
+            for record in self.records()
+            if isinstance(record.get(field_name), (int, float)) and not isinstance(record.get(field_name), bool)
+        ]
+        if not values:
+            return None
+        return (min(values), max(values))
+
+    def relayout(self, layout: DataLayout) -> "Dataset":
+        """Return a copy of this dataset stored under a different layout."""
+        copy = Dataset(self.name, layout=layout, scale_factor=self.scale_factor)
+        copy.load(self.all_records())
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(name={self.name!r}, records={self.num_records}, "
+            f"partitions={self.num_partitions}, layout={self.layout.partitioning.kind})"
+        )
+
+
+def empty_dataset(name: str, layout: Optional[DataLayout] = None) -> Dataset:
+    """Convenience constructor for an empty dataset."""
+    return Dataset(name, records=[], layout=layout or DataLayout(partitioning=PartitionScheme.unpartitioned()))

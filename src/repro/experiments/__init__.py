@@ -1,0 +1,19 @@
+"""Experiment harness reproducing the paper's evaluation (§7)."""
+
+from repro.experiments.harness import (
+    ExperimentHarness,
+    OptimizerRun,
+    WorkloadComparison,
+)
+from repro.experiments.microbench import (
+    horizontal_packing_tradeoff,
+    vertical_packing_tradeoff,
+)
+
+__all__ = [
+    "ExperimentHarness",
+    "OptimizerRun",
+    "WorkloadComparison",
+    "vertical_packing_tradeoff",
+    "horizontal_packing_tradeoff",
+]

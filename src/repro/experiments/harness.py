@@ -1,0 +1,272 @@
+"""Harness running the paper's evaluation end to end.
+
+For one workload the harness:
+
+1. builds the workload (MB-scale data with paper-scale logical sizes);
+2. profiles the unoptimized workflow to produce profile annotations;
+3. runs every requested optimizer on the same annotated plan;
+4. executes every optimized plan on the local engine, checks that its output
+   is equivalent to the unoptimized plan's output, and converts the measured
+   counters into the simulated "actual" cluster runtime;
+5. reports speedups relative to the Baseline, plus optimizer overheads.
+
+Figure 11 uses the {Baseline, Stubby, Vertical, Horizontal} optimizer set,
+Figure 12 the {Baseline, Stubby, Starfish, YSmart, MRShare} set, Figure 13
+the optimization times, and Figure 14 the per-subplan deep dive of the first
+optimization unit of the Information Retrieval workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    MRShareOptimizer,
+    PigBaselineOptimizer,
+    StarfishOptimizer,
+    YSmartOptimizer,
+)
+from repro.cluster import ClusterSpec
+from repro.common.records import records_equal
+from repro.core.optimizer import OptimizationResult, StubbyOptimizer
+from repro.core.search import StubbySearch, UnitReport
+from repro.core.transformations import (
+    HorizontalPacking,
+    InterJobVerticalPacking,
+    IntraJobVerticalPacking,
+    PartitionFunctionTransformation,
+)
+from repro.core.optimization_unit import OptimizationUnitGenerator
+from repro.core.transformations.configuration import ConfigurationTransformation
+from repro.profiler import Profiler
+from repro.whatif import ActualCostModel, WhatIfEngine
+from repro.workflow.executor import WorkflowExecutor
+from repro.workloads import build_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class OptimizerRun:
+    """Result of running one optimizer on one workload."""
+
+    optimizer: str
+    num_jobs: int
+    actual_s: float
+    estimated_s: float
+    optimization_time_s: float
+    output_equivalent: bool
+    transformations: List[str] = field(default_factory=list)
+
+    def speedup_over(self, baseline: "OptimizerRun") -> float:
+        """Speedup of this run's actual runtime over the baseline's."""
+        if self.actual_s <= 0:
+            return 0.0
+        return baseline.actual_s / self.actual_s
+
+
+@dataclass
+class WorkloadComparison:
+    """All optimizer runs for one workload."""
+
+    abbreviation: str
+    name: str
+    paper_dataset_gb: float
+    unoptimized_jobs: int
+    runs: Dict[str, OptimizerRun] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> OptimizerRun:
+        """The Baseline run (reference for speedups)."""
+        return self.runs["Baseline"]
+
+    def speedup(self, optimizer: str) -> float:
+        """Speedup of ``optimizer`` over the Baseline."""
+        return self.runs[optimizer].speedup_over(self.baseline)
+
+    def speedups(self) -> Dict[str, float]:
+        """Speedups of every optimizer over the Baseline."""
+        return {name: self.speedup(name) for name in self.runs}
+
+
+class ExperimentHarness:
+    """Runs workloads under several optimizers and collects the comparison."""
+
+    FIGURE11_OPTIMIZERS = ("Baseline", "Stubby", "Vertical", "Horizontal")
+    FIGURE12_OPTIMIZERS = ("Baseline", "Stubby", "Starfish", "YSmart", "MRShare")
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        scale: float = 0.25,
+        profile_noise: float = 0.0,
+        seed: int = 42,
+    ) -> None:
+        self.cluster = cluster or ClusterSpec.paper_cluster()
+        self.scale = scale
+        self.profile_noise = profile_noise
+        self.seed = seed
+        self.executor = WorkflowExecutor()
+        self.actual_model = ActualCostModel(self.cluster)
+        self.whatif = WhatIfEngine(self.cluster)
+
+    # ----------------------------------------------------------- optimizers
+    def make_optimizer(self, name: str):
+        """Instantiate an optimizer by its display name."""
+        if name == "Baseline":
+            return PigBaselineOptimizer(self.cluster)
+        if name == "Stubby":
+            return StubbyOptimizer(self.cluster)
+        if name == "Vertical":
+            return StubbyOptimizer.vertical_only(self.cluster)
+        if name == "Horizontal":
+            return StubbyOptimizer.horizontal_only(self.cluster)
+        if name == "Starfish":
+            return StarfishOptimizer(self.cluster)
+        if name == "YSmart":
+            return YSmartOptimizer(self.cluster)
+        if name == "MRShare":
+            return MRShareOptimizer(self.cluster)
+        raise KeyError(f"unknown optimizer {name!r}")
+
+    # ------------------------------------------------------------- workload
+    def prepare_workload(self, abbreviation: str) -> Workload:
+        """Build and profile a workload (profiles attached to its workflow)."""
+        workload = build_workload(abbreviation, scale=self.scale, seed=self.seed)
+        profiler = Profiler(noise=self.profile_noise, seed=self.seed)
+        profiler.profile_workflow(workload.workflow, workload.base_datasets)
+        return workload
+
+    def compare(
+        self,
+        abbreviation: str,
+        optimizers: Sequence[str] = FIGURE11_OPTIMIZERS,
+        workload: Optional[Workload] = None,
+    ) -> WorkloadComparison:
+        """Run the requested optimizers on one workload and compare them."""
+        workload = workload or self.prepare_workload(abbreviation)
+        reference_outputs = self._reference_outputs(workload)
+
+        comparison = WorkloadComparison(
+            abbreviation=workload.abbreviation,
+            name=workload.name,
+            paper_dataset_gb=workload.paper_dataset_gb,
+            unoptimized_jobs=workload.num_jobs,
+        )
+        for optimizer_name in optimizers:
+            optimizer = self.make_optimizer(optimizer_name)
+            result = optimizer.optimize(workload.plan)
+            comparison.runs[optimizer_name] = self._evaluate(result, workload, reference_outputs)
+        return comparison
+
+    def _reference_outputs(self, workload: Workload) -> Dict[str, list]:
+        execution, filesystem = self.executor.execute(
+            workload.workflow.copy(), base_datasets=workload.base_datasets
+        )
+        outputs = {}
+        for dataset_vertex in workload.workflow.terminal_datasets():
+            if filesystem.exists(dataset_vertex.name):
+                outputs[dataset_vertex.name] = filesystem.get(dataset_vertex.name).all_records()
+        return outputs
+
+    def _evaluate(
+        self,
+        result: OptimizationResult,
+        workload: Workload,
+        reference_outputs: Dict[str, list],
+    ) -> OptimizerRun:
+        execution, filesystem = self.executor.execute(
+            result.plan.workflow, base_datasets=workload.base_datasets
+        )
+        actual = self.actual_model.workflow_cost(result.plan.workflow, execution, filesystem)
+        equivalent = True
+        for name, reference in reference_outputs.items():
+            if not filesystem.exists(name):
+                equivalent = False
+                continue
+            if not records_equal(reference, filesystem.get(name).all_records()):
+                equivalent = False
+        return OptimizerRun(
+            optimizer=result.optimizer,
+            num_jobs=result.num_jobs,
+            actual_s=actual.total_s,
+            estimated_s=result.estimated_cost_s,
+            optimization_time_s=result.optimization_time_s,
+            output_equivalent=equivalent,
+            transformations=[t for t in result.transformations_applied if t != "configuration"],
+        )
+
+    # ---------------------------------------------------------- deep dives
+    def unit_deep_dive(
+        self,
+        abbreviation: str = "IR",
+        workload: Optional[Workload] = None,
+    ) -> List[Tuple[Tuple[str, ...], float, float]]:
+        """Figure 14: (transformations, estimated, actual) per subplan of the first unit.
+
+        Every subplan enumerated for the workload's first optimization unit is
+        configured with its best RRS settings, executed, and costed both ways.
+        """
+        workload = workload or self.prepare_workload(abbreviation)
+        plan = workload.plan
+        search = StubbySearch(
+            cluster=self.cluster,
+            vertical_transformations=[
+                IntraJobVerticalPacking(),
+                InterJobVerticalPacking(),
+                PartitionFunctionTransformation(),
+            ],
+            horizontal_transformations=[HorizontalPacking(), PartitionFunctionTransformation()],
+        )
+        generator = OptimizationUnitGenerator()
+        unit = generator.next_unit(plan)
+        if unit is None:
+            return []
+        _, report = search.optimize_unit(plan, unit, search.vertical_transformations, phase="vertical")
+
+        results: List[Tuple[Tuple[str, ...], float, float]] = []
+        for record in report.subplans:
+            candidate = record.plan.copy()
+            if record.best_settings:
+                ConfigurationTransformation.apply_settings_in_place(candidate, record.best_settings)
+            execution, filesystem = self.executor.execute(
+                candidate.workflow, base_datasets=workload.base_datasets
+            )
+            actual = self.actual_model.workflow_cost(candidate.workflow, execution, filesystem)
+            results.append((record.transformations, record.estimated_cost, actual.total_s))
+        return results
+
+    # -------------------------------------------------------------- reports
+    @staticmethod
+    def format_speedup_table(
+        comparisons: Sequence[WorkloadComparison],
+        optimizers: Sequence[str],
+    ) -> str:
+        """Text table of speedups over the Baseline (one row per workload)."""
+        header = "workload  " + "  ".join(f"{name:>10}" for name in optimizers)
+        lines = [header]
+        for comparison in comparisons:
+            cells = []
+            for name in optimizers:
+                if name in comparison.runs:
+                    cells.append(f"{comparison.speedup(name):>10.2f}")
+                else:
+                    cells.append(f"{'-':>10}")
+            lines.append(f"{comparison.abbreviation:<9} " + "  ".join(cells))
+        return "\n".join(lines)
+
+    @staticmethod
+    def format_overhead_table(comparisons: Sequence[WorkloadComparison]) -> str:
+        """Text table of Stubby's optimization overhead (Figure 13)."""
+        lines = ["workload  optimization_s  baseline_runtime_s  overhead_pct"]
+        for comparison in comparisons:
+            stubby = comparison.runs.get("Stubby")
+            baseline = comparison.runs.get("Baseline")
+            if stubby is None or baseline is None:
+                continue
+            pct = 100.0 * stubby.optimization_time_s / max(1e-9, baseline.actual_s)
+            lines.append(
+                f"{comparison.abbreviation:<9} {stubby.optimization_time_s:>14.2f} "
+                f"{baseline.actual_s:>19.1f} {pct:>13.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Local MapReduce execution engine.
+
+This package is the substrate standing in for Hadoop: it really executes
+MapReduce programs (map, combine, reduce, partition functions) over in-memory
+datasets, including the pipelined and tagged "packed" jobs that Stubby's
+vertical and horizontal packing transformations produce.  Execution yields
+:class:`~repro.mapreduce.counters.ExecutionCounters` which feed both the
+profiler (to build profile annotations) and the cluster cost simulator (to
+derive "actual" runtimes for the experiments).
+"""
+
+from repro.mapreduce.config import JobConfig, ConfigurationSpace
+from repro.mapreduce.counters import ExecutionCounters, OperatorCounters
+from repro.mapreduce.engine import JobExecutionResult, LocalEngine
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioner import PartitionFunction
+from repro.mapreduce.pipeline import Operator, Pipeline, map_operator, reduce_operator
+
+__all__ = [
+    "JobConfig",
+    "ConfigurationSpace",
+    "ExecutionCounters",
+    "OperatorCounters",
+    "JobExecutionResult",
+    "LocalEngine",
+    "MapReduceJob",
+    "PartitionFunction",
+    "Operator",
+    "Pipeline",
+    "map_operator",
+    "reduce_operator",
+]

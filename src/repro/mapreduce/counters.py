@@ -1,0 +1,132 @@
+"""Execution counters collected by the local MapReduce engine.
+
+Counters mirror the dataflow statistics Hadoop exposes and Starfish profiles:
+records and bytes entering/leaving the map phase, spilled to local disk,
+shuffled across the network, entering/leaving the reduce phase, plus
+per-operator record counts used to derive selectivities for profile
+annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class OperatorCounters:
+    """Record counts observed for one operator (function) during execution."""
+
+    records_in: int = 0
+    records_out: int = 0
+
+    @property
+    def selectivity(self) -> float:
+        """Output records per input record (1.0 when nothing was observed)."""
+        if self.records_in <= 0:
+            return 1.0
+        return self.records_out / self.records_in
+
+
+@dataclass
+class ExecutionCounters:
+    """Aggregate dataflow statistics of one job execution."""
+
+    map_input_records: int = 0
+    map_input_bytes: float = 0.0
+    map_output_records: int = 0
+    map_output_bytes: float = 0.0
+    combine_input_records: int = 0
+    combine_output_records: int = 0
+    spilled_records: int = 0
+    spilled_bytes: float = 0.0
+    shuffle_bytes: float = 0.0
+    reduce_input_groups: int = 0
+    reduce_input_records: int = 0
+    reduce_output_records: int = 0
+    reduce_output_bytes: float = 0.0
+    output_records: int = 0
+    output_bytes: float = 0.0
+    num_map_tasks: int = 0
+    num_reduce_tasks: int = 0
+    operators: Dict[str, OperatorCounters] = field(default_factory=dict)
+    #: distinct shuffle-key counts per field tuple, e.g. {("O","Z"): 812}
+    key_cardinalities: Dict[tuple, int] = field(default_factory=dict)
+
+    def operator(self, name: str) -> OperatorCounters:
+        """The (auto-created) counters for a named operator."""
+        if name not in self.operators:
+            self.operators[name] = OperatorCounters()
+        return self.operators[name]
+
+    @property
+    def map_selectivity(self) -> float:
+        """Map output records per map input record."""
+        if self.map_input_records <= 0:
+            return 1.0
+        return self.map_output_records / self.map_input_records
+
+    @property
+    def reduce_selectivity(self) -> float:
+        """Reduce output records per reduce input record."""
+        if self.reduce_input_records <= 0:
+            return 1.0
+        return self.reduce_output_records / self.reduce_input_records
+
+    @property
+    def bytes_per_map_output_record(self) -> float:
+        """Average serialized size of a map output record."""
+        if self.map_output_records <= 0:
+            return 0.0
+        return self.map_output_bytes / self.map_output_records
+
+    @property
+    def bytes_per_output_record(self) -> float:
+        """Average serialized size of a final output record."""
+        if self.output_records <= 0:
+            return 0.0
+        return self.output_bytes / self.output_records
+
+    def merge(self, other: "ExecutionCounters") -> None:
+        """Accumulate another job's counters into this one (workflow totals)."""
+        self.map_input_records += other.map_input_records
+        self.map_input_bytes += other.map_input_bytes
+        self.map_output_records += other.map_output_records
+        self.map_output_bytes += other.map_output_bytes
+        self.combine_input_records += other.combine_input_records
+        self.combine_output_records += other.combine_output_records
+        self.spilled_records += other.spilled_records
+        self.spilled_bytes += other.spilled_bytes
+        self.shuffle_bytes += other.shuffle_bytes
+        self.reduce_input_groups += other.reduce_input_groups
+        self.reduce_input_records += other.reduce_input_records
+        self.reduce_output_records += other.reduce_output_records
+        self.reduce_output_bytes += other.reduce_output_bytes
+        self.output_records += other.output_records
+        self.output_bytes += other.output_bytes
+        self.num_map_tasks += other.num_map_tasks
+        self.num_reduce_tasks += other.num_reduce_tasks
+        for name, op_counters in other.operators.items():
+            mine = self.operator(name)
+            mine.records_in += op_counters.records_in
+            mine.records_out += op_counters.records_out
+        for fields, count in other.key_cardinalities.items():
+            self.key_cardinalities[fields] = max(self.key_cardinalities.get(fields, 0), count)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view of the aggregate counters (no per-operator data)."""
+        return {
+            "map_input_records": self.map_input_records,
+            "map_input_bytes": self.map_input_bytes,
+            "map_output_records": self.map_output_records,
+            "map_output_bytes": self.map_output_bytes,
+            "spilled_bytes": self.spilled_bytes,
+            "shuffle_bytes": self.shuffle_bytes,
+            "reduce_input_groups": self.reduce_input_groups,
+            "reduce_input_records": self.reduce_input_records,
+            "reduce_output_records": self.reduce_output_records,
+            "output_records": self.output_records,
+            "output_bytes": self.output_bytes,
+            "num_map_tasks": self.num_map_tasks,
+            "num_reduce_tasks": self.num_reduce_tasks,
+        }

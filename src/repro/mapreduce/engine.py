@@ -1,0 +1,429 @@
+"""The local MapReduce execution engine.
+
+:class:`LocalEngine` executes a :class:`~repro.mapreduce.job.MapReduceJob`
+against datasets stored in an :class:`~repro.dfs.filesystem.InMemoryFileSystem`,
+faithfully following the MapReduce execution model:
+
+1. the input datasets are divided into map splits (one split per stored
+   partition, in order, when the job carries the chaining constraint from an
+   intra-job vertical packing);
+2. each map task streams its records through every pipeline that reads the
+   record's dataset — this is where horizontal packing's scan sharing
+   happens: the record is *read once* but processed by several pipelines;
+3. map-only pipelines write their output directly; shuffled pipelines tag,
+   optionally combine, partition, and sort their map output;
+4. reduce tasks group the sorted pairs per tag and stream the groups through
+   the pipeline's reduce-side operator chain (which, after vertical packing,
+   may contain further map and grouped-reduce stages);
+5. outputs are written back to the filesystem with a layout derived from the
+   job's partition function, so downstream jobs can rely on partitioning,
+   ordering, and partition pruning.
+
+Execution produces :class:`~repro.mapreduce.counters.ExecutionCounters` used
+by the profiler and by the cluster cost simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.records import Record, merge, record_size_bytes, sort_key_for
+from repro.dfs.dataset import Dataset
+from repro.dfs.filesystem import InMemoryFileSystem
+from repro.dfs.layout import DataLayout, PartitionScheme
+from repro.mapreduce.counters import ExecutionCounters
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.pipeline import (
+    OperatorStats,
+    Pipeline,
+    run_map_chain,
+    run_reduce_chain,
+)
+
+
+@dataclass
+class JobExecutionResult:
+    """Outcome of executing a single job."""
+
+    job_name: str
+    counters: ExecutionCounters
+    output_datasets: Tuple[str, ...]
+    per_output_records: Dict[str, int] = field(default_factory=dict)
+
+    def output(self, filesystem: InMemoryFileSystem, name: Optional[str] = None) -> Dataset:
+        """Convenience accessor for one of the job's output datasets."""
+        target = name or self.output_datasets[0]
+        return filesystem.get(target)
+
+
+# A tagged map-output entry: (tag, sort_key, key, value)
+_ShuffleEntry = Tuple[str, tuple, Record, Record]
+
+
+class LocalEngine:
+    """Executes MapReduce jobs over in-memory datasets."""
+
+    def __init__(self, target_records_per_split: int = 2_000, max_exec_reduce_tasks: int = 4) -> None:
+        if target_records_per_split <= 0:
+            raise ValueError("target_records_per_split must be positive")
+        if max_exec_reduce_tasks <= 0:
+            raise ValueError("max_exec_reduce_tasks must be positive")
+        self.target_records_per_split = target_records_per_split
+        self.max_exec_reduce_tasks = max_exec_reduce_tasks
+
+    # ------------------------------------------------------------------ API
+    def execute_job(self, job: MapReduceJob, filesystem: InMemoryFileSystem) -> JobExecutionResult:
+        """Execute ``job`` reading inputs from and writing outputs to ``filesystem``."""
+        counters = ExecutionCounters()
+        stats = OperatorStats()
+
+        splits, input_scale = self._build_splits(job, filesystem, counters)
+
+        map_only_outputs: Dict[str, List[Record]] = {}
+        shuffle_buffer: List[_ShuffleEntry] = []
+        sort_fields_by_tag = self._sort_fields_by_tag(job)
+
+        for split in splits:
+            self._run_map_task(job, split, stats, counters, map_only_outputs, shuffle_buffer, sort_fields_by_tag)
+        counters.num_map_tasks = max(1, len(splits))
+
+        reduce_outputs: Dict[str, List[Record]] = {}
+        if not job.is_map_only:
+            self._run_shuffle_and_reduce(job, shuffle_buffer, stats, counters, reduce_outputs, sort_fields_by_tag)
+
+        self._record_key_cardinalities(job, shuffle_buffer, counters)
+        self._merge_operator_stats(stats, counters)
+
+        written = self._write_outputs(job, filesystem, map_only_outputs, reduce_outputs, counters, input_scale)
+        per_output = {name: filesystem.get(name).num_records for name in written}
+        return JobExecutionResult(
+            job_name=job.name,
+            counters=counters,
+            output_datasets=tuple(written),
+            per_output_records=per_output,
+        )
+
+    # ------------------------------------------------------------ map phase
+    def _build_splits(
+        self,
+        job: MapReduceJob,
+        filesystem: InMemoryFileSystem,
+        counters: ExecutionCounters,
+    ) -> Tuple[List[List[Tuple[str, Record]]], float]:
+        """Build map splits as lists of (dataset_name, record) pairs.
+
+        Records are tagged with their source dataset so that, inside a map
+        task, only the pipelines reading that dataset process them.
+        """
+        allowed_partitions = self._allowed_partitions_per_dataset(job)
+        splits: List[List[Tuple[str, Record]]] = []
+        max_scale = 1.0
+
+        for dataset_name in job.input_datasets:
+            dataset = filesystem.get(dataset_name)
+            max_scale = max(max_scale, dataset.scale_factor)
+            allowed = allowed_partitions.get(dataset_name)
+            if job.config.chained_input:
+                # One split per stored partition, records in stored order
+                # (postcondition 2 of intra-job vertical packing).
+                for partition in dataset.partitions:
+                    if allowed is not None and partition.index not in allowed:
+                        continue
+                    split = [(dataset_name, dict(record)) for record in partition.records]
+                    if split:
+                        splits.append(split)
+                    self._count_input(split, counters)
+            else:
+                records = [
+                    (dataset_name, record)
+                    for record in dataset.records(partition_indexes=allowed)
+                ]
+                self._count_input(records, counters)
+                for chunk_start in range(0, len(records), self.target_records_per_split):
+                    chunk = records[chunk_start : chunk_start + self.target_records_per_split]
+                    if chunk:
+                        splits.append(chunk)
+        if not splits:
+            splits = [[]]
+        return splits, max_scale
+
+    def _allowed_partitions_per_dataset(self, job: MapReduceJob) -> Dict[str, Optional[Tuple[int, ...]]]:
+        """Union partition-pruning filters across pipelines per dataset.
+
+        A dataset is pruned only if *every* pipeline reading it restricts its
+        partitions; otherwise the full dataset must be scanned.
+        """
+        allowed: Dict[str, Optional[Tuple[int, ...]]] = {}
+        for dataset_name in job.input_datasets:
+            filters = []
+            unrestricted = False
+            for pipeline in job.pipelines:
+                if not pipeline.reads(dataset_name):
+                    continue
+                pipeline_filter = pipeline.allowed_partitions(dataset_name)
+                if pipeline_filter is None:
+                    unrestricted = True
+                else:
+                    filters.append(set(pipeline_filter))
+            if unrestricted or not filters:
+                allowed[dataset_name] = None
+            else:
+                union = set()
+                for f in filters:
+                    union |= f
+                allowed[dataset_name] = tuple(sorted(union))
+        return allowed
+
+    @staticmethod
+    def _count_input(records: Sequence[Tuple[str, Record]], counters: ExecutionCounters) -> None:
+        counters.map_input_records += len(records)
+        counters.map_input_bytes += sum(record_size_bytes(record) for _, record in records)
+
+    def _run_map_task(
+        self,
+        job: MapReduceJob,
+        split: Sequence[Tuple[str, Record]],
+        stats: OperatorStats,
+        counters: ExecutionCounters,
+        map_only_outputs: Dict[str, List[Record]],
+        shuffle_buffer: List[_ShuffleEntry],
+        sort_fields_by_tag: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        task_shuffle: Dict[str, List[Tuple[Record, Record]]] = {}
+        for pipeline in job.pipelines:
+            pairs = self._pipeline_input_pairs(pipeline, split)
+            produced = run_map_chain(pipeline.map_ops, pairs, stats)
+            if pipeline.is_map_only:
+                bucket = map_only_outputs.setdefault(pipeline.output_dataset, [])
+                for key, value in produced:
+                    record = merge(key, value)
+                    bucket.append(record)
+                    counters.output_records += 1
+                    counters.output_bytes += record_size_bytes(record)
+            else:
+                outputs = task_shuffle.setdefault(pipeline.tag, [])
+                outputs.extend(produced)
+
+        # Combine (per map task, per tag), then count and buffer for shuffle.
+        for pipeline in job.pipelines:
+            if pipeline.is_map_only or pipeline.tag not in task_shuffle:
+                continue
+            pairs = task_shuffle[pipeline.tag]
+            counters.map_output_records += len(pairs)
+            counters.map_output_bytes += sum(
+                record_size_bytes(k) + record_size_bytes(v) for k, v in pairs
+            )
+            combiner = pipeline.map_side_combiner
+            if combiner is not None and job.config.combiner_enabled and pairs:
+                pairs = self._apply_combiner(pipeline, combiner, pairs, counters)
+            sort_fields = sort_fields_by_tag[pipeline.tag]
+            for key, value in pairs:
+                counters.spilled_records += 1
+                size = record_size_bytes(key) + record_size_bytes(value)
+                counters.spilled_bytes += size
+                counters.shuffle_bytes += size
+                shuffle_buffer.append((pipeline.tag, sort_key_for(key, sort_fields), key, value))
+
+    @staticmethod
+    def _pipeline_input_pairs(
+        pipeline: Pipeline, split: Sequence[Tuple[str, Record]]
+    ) -> Iterator[Tuple[Record, Record]]:
+        for dataset_name, record in split:
+            if pipeline.reads(dataset_name):
+                yield {}, dict(record)
+
+    @staticmethod
+    def _apply_combiner(
+        pipeline: Pipeline,
+        combiner,
+        pairs: List[Tuple[Record, Record]],
+        counters: ExecutionCounters,
+    ) -> List[Tuple[Record, Record]]:
+        group_fields = pipeline.shuffle_group_fields
+        grouped: Dict[tuple, Tuple[Record, List[Record]]] = {}
+        for key, value in pairs:
+            group_key = sort_key_for(key, group_fields)
+            if group_key not in grouped:
+                grouped[group_key] = ({f: key.get(f) for f in group_fields}, [])
+            grouped[group_key][1].append(value)
+        counters.combine_input_records += len(pairs)
+        combined: List[Tuple[Record, Record]] = []
+        for key, values in grouped.values():
+            for out_key, out_value in combiner(dict(key), values):
+                combined.append((out_key, out_value))
+        counters.combine_output_records += len(combined)
+        return combined
+
+    # --------------------------------------------------------- reduce phase
+    def _sort_fields_by_tag(self, job: MapReduceJob) -> Dict[str, Tuple[str, ...]]:
+        partitioner = job.effective_partitioner
+        sort_fields: Dict[str, Tuple[str, ...]] = {}
+        explicit = job.partitioner is not None and len(job.pipelines) == 1
+        for pipeline in job.pipelines:
+            if explicit:
+                sort_fields[pipeline.tag] = partitioner.effective_sort_fields
+            else:
+                sort_fields[pipeline.tag] = pipeline.shuffle_group_fields
+        return sort_fields
+
+    def _run_shuffle_and_reduce(
+        self,
+        job: MapReduceJob,
+        shuffle_buffer: List[_ShuffleEntry],
+        stats: OperatorStats,
+        counters: ExecutionCounters,
+        reduce_outputs: Dict[str, List[Record]],
+        sort_fields_by_tag: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        partitioner = job.effective_partitioner
+        num_exec_reduces = self._execution_reduce_tasks(job)
+        counters.num_reduce_tasks = job.config.num_reduce_tasks
+
+        partitions: Dict[int, List[_ShuffleEntry]] = {i: [] for i in range(num_exec_reduces)}
+        for entry in shuffle_buffer:
+            _, _, key, _ = entry
+            index = partitioner.partition_index(key, num_exec_reduces)
+            partitions[index].append(entry)
+
+        pipelines_by_tag = {p.tag: p for p in job.pipelines}
+        for index in range(num_exec_reduces):
+            entries = partitions[index]
+            entries.sort(key=lambda e: (e[0], e[1]))
+            counters.reduce_input_records += len(entries)
+            # Process each tag's run of entries through its pipeline.
+            start = 0
+            while start < len(entries):
+                tag = entries[start][0]
+                end = start
+                while end < len(entries) and entries[end][0] == tag:
+                    end += 1
+                pipeline = pipelines_by_tag.get(tag)
+                if pipeline is None:
+                    raise ExecutionError(f"shuffle produced unknown tag {tag!r}")
+                groups = self._group_entries(entries[start:end], pipeline.shuffle_group_fields)
+                group_list = list(groups)
+                counters.reduce_input_groups += len(group_list)
+                bucket = reduce_outputs.setdefault(pipeline.output_dataset, [])
+                for key, value in run_reduce_chain(pipeline.reduce_ops, group_list, stats):
+                    record = merge(key, value)
+                    bucket.append(record)
+                    counters.reduce_output_records += 1
+                    size = record_size_bytes(record)
+                    counters.reduce_output_bytes += size
+                    counters.output_records += 1
+                    counters.output_bytes += size
+                start = end
+
+    def _execution_reduce_tasks(self, job: MapReduceJob) -> int:
+        if job.config.forced_single_reduce:
+            return 1
+        return max(1, min(job.config.num_reduce_tasks, self.max_exec_reduce_tasks))
+
+    @staticmethod
+    def _group_entries(
+        entries: Sequence[_ShuffleEntry], group_fields: Tuple[str, ...]
+    ) -> Iterator[Tuple[Record, List[Record]]]:
+        current_key_tuple: Optional[tuple] = None
+        current_key: Optional[Record] = None
+        values: List[Record] = []
+        for _, _, key, value in entries:
+            key_tuple = sort_key_for(key, group_fields)
+            if current_key_tuple is None or key_tuple != current_key_tuple:
+                if current_key is not None:
+                    yield current_key, values
+                current_key_tuple = key_tuple
+                current_key = {f: key.get(f) for f in group_fields}
+                values = []
+            values.append(value)
+        if current_key is not None:
+            yield current_key, values
+
+    # ------------------------------------------------------------- counters
+    def _record_key_cardinalities(
+        self,
+        job: MapReduceJob,
+        shuffle_buffer: List[_ShuffleEntry],
+        counters: ExecutionCounters,
+    ) -> None:
+        partitioner = job.effective_partitioner
+        field_sets: List[Tuple[str, ...]] = []
+        for pipeline in job.pipelines:
+            if pipeline.shuffle_group_fields and pipeline.shuffle_group_fields not in field_sets:
+                field_sets.append(pipeline.shuffle_group_fields)
+        if partitioner.fields and tuple(partitioner.fields) not in field_sets:
+            field_sets.append(tuple(partitioner.fields))
+        for fields in field_sets:
+            distinct = {sort_key_for(key, fields) for _, _, key, _ in shuffle_buffer}
+            counters.key_cardinalities[tuple(fields)] = len(distinct)
+
+    @staticmethod
+    def _merge_operator_stats(stats: OperatorStats, counters: ExecutionCounters) -> None:
+        for name, count in stats.records_in.items():
+            counters.operator(name).records_in += count
+        for name, count in stats.records_out.items():
+            counters.operator(name).records_out += count
+
+    # --------------------------------------------------------------- output
+    def _write_outputs(
+        self,
+        job: MapReduceJob,
+        filesystem: InMemoryFileSystem,
+        map_only_outputs: Dict[str, List[Record]],
+        reduce_outputs: Dict[str, List[Record]],
+        counters: ExecutionCounters,
+        input_scale: float,
+    ) -> List[str]:
+        written: List[str] = []
+        for pipeline in job.pipelines:
+            name = pipeline.output_dataset
+            if name in written:
+                continue
+            records: List[Record] = []
+            records.extend(map_only_outputs.get(name, []))
+            records.extend(reduce_outputs.get(name, []))
+            layout = self._output_layout(job, pipeline, filesystem)
+            dataset = Dataset(name, layout=layout, scale_factor=input_scale)
+            dataset.load(records)
+            filesystem.put(dataset)
+            written.append(name)
+        # Keep counters' output byte view consistent with compression.
+        if job.config.compress_output:
+            counters.output_bytes *= 0.35
+        return written
+
+    def _output_layout(
+        self,
+        job: MapReduceJob,
+        pipeline: Pipeline,
+        filesystem: InMemoryFileSystem,
+    ) -> DataLayout:
+        partitioner = job.effective_partitioner
+        if pipeline.is_map_only:
+            # A map-only job's output inherits the physical partitioning of
+            # its (single) input: map task i reads partition i and writes
+            # output file i.
+            source = filesystem.peek(pipeline.input_datasets[0])
+            partitioning = (
+                source.layout.partitioning if source is not None else PartitionScheme.unpartitioned()
+            )
+            sort_fields: Tuple[str, ...] = ()
+            if source is not None and job.config.chained_input:
+                sort_fields = source.layout.sort_fields
+            return DataLayout(
+                partitioning=partitioning,
+                sort_fields=sort_fields,
+                compressed=job.config.compress_output,
+            )
+        if partitioner.kind == "range":
+            partitioning = PartitionScheme.ranged(partitioner.fields[0], partitioner.split_points)
+        elif partitioner.fields:
+            partitioning = PartitionScheme.hashed(*partitioner.fields)
+        else:
+            partitioning = PartitionScheme.unpartitioned()
+        return DataLayout(
+            partitioning=partitioning,
+            sort_fields=partitioner.effective_sort_fields,
+            compressed=job.config.compress_output,
+        )

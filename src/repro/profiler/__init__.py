@@ -1,0 +1,5 @@
+"""Starfish-style profiler: builds profile and dataset annotations by running jobs."""
+
+from repro.profiler.profiler import Profiler, ProfilingResult
+
+__all__ = ["Profiler", "ProfilingResult"]

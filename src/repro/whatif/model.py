@@ -1,0 +1,409 @@
+"""The What-if engine: estimate workflow cost from annotations alone.
+
+Given a plan (an annotated workflow), a cluster spec, and the configurations
+chosen for each job, the engine derives each job's expected dataflow from the
+profile annotations and the (estimated) sizes of its input datasets, costs it
+with the per-phase job model, propagates the estimated output sizes to
+downstream jobs, and combines per-level makespans into the workflow estimate.
+
+When a job carries no profile annotation the engine falls back to the simple
+"number of jobs" cost model used by rule-based optimizers such as YSmart [11]
+(paper §5), flagged through ``WorkflowCostEstimate.cost_basis``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.common.errors import CostModelError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.pipeline import Pipeline
+from repro.whatif.dataflow import JobDataflow
+from repro.whatif.jobmodel import JobTimeEstimate, estimate_job_time
+from repro.whatif.scheduling import workflow_makespan
+from repro.workflow.annotations import OperatorProfile, ProfileAnnotation
+from repro.workflow.graph import JobVertex, Workflow
+
+#: Simulated seconds charged per job under the fallback job-count cost model.
+JOB_COUNT_COST_SECONDS = 1_000.0
+
+
+@dataclass
+class WorkflowCostEstimate:
+    """Estimated cost of a whole workflow."""
+
+    total_s: float
+    per_job: Dict[str, JobTimeEstimate] = field(default_factory=dict)
+    dataset_sizes: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    cost_basis: str = "whatif"
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs that were costed."""
+        return len(self.per_job)
+
+    def job_seconds(self, name: str) -> float:
+        """Standalone estimated seconds of one job."""
+        if name not in self.per_job:
+            raise CostModelError(f"no estimate available for job {name!r}")
+        return self.per_job[name].total_s
+
+
+@dataclass(frozen=True)
+class _PipelineFlow:
+    """Intermediate per-pipeline dataflow derived while costing a job."""
+
+    map_output_records: float
+    map_output_bytes: float
+    output_records: float
+    output_bytes: float
+    map_cpu_units: float
+    reduce_cpu_units: float
+    is_map_only: bool
+    output_dataset: str
+
+
+class WhatIfEngine:
+    """Analytical cost estimation for annotated MapReduce workflows."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------ API
+    def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
+        """Estimate the total runtime of ``workflow`` on the engine's cluster."""
+        if any(not vertex.annotations.has_profile for vertex in workflow.jobs):
+            return self._job_count_estimate(workflow)
+
+        sizes = self._base_dataset_sizes(workflow)
+        per_job: Dict[str, JobTimeEstimate] = {}
+        per_level: List[List[JobTimeEstimate]] = []
+
+        for level in workflow.topological_levels():
+            level_estimates: List[JobTimeEstimate] = []
+            for vertex in level:
+                dataflow = self.derive_job_dataflow(vertex, workflow, sizes)
+                estimate = estimate_job_time(dataflow, vertex.job.config, self.cluster)
+                per_job[vertex.name] = estimate
+                level_estimates.append(estimate)
+                self._propagate_outputs(vertex, workflow, sizes)
+            per_level.append(level_estimates)
+
+        total = workflow_makespan(per_level, self.cluster)
+        return WorkflowCostEstimate(total_s=total, per_job=per_job, dataset_sizes=dict(sizes))
+
+    def estimate_job(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        dataset_sizes: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> JobTimeEstimate:
+        """Estimate a single job in the context of its workflow."""
+        sizes = dataset_sizes if dataset_sizes is not None else self._estimate_sizes_until(workflow, vertex.name)
+        dataflow = self.derive_job_dataflow(vertex, workflow, sizes)
+        return estimate_job_time(dataflow, vertex.job.config, self.cluster)
+
+    # --------------------------------------------------------- size tracking
+    def _base_dataset_sizes(self, workflow: Workflow) -> Dict[str, Tuple[float, float]]:
+        sizes: Dict[str, Tuple[float, float]] = {}
+        for dataset_vertex in workflow.base_datasets():
+            annotation = dataset_vertex.annotation
+            if annotation is not None and annotation.size_bytes is not None:
+                records = annotation.num_records or max(
+                    1.0, annotation.size_bytes / 100.0
+                )
+                sizes[dataset_vertex.name] = (annotation.size_bytes, records)
+            elif dataset_vertex.dataset is not None:
+                dataset = dataset_vertex.dataset
+                sizes[dataset_vertex.name] = (
+                    max(1.0, dataset.logical_bytes),
+                    max(1.0, dataset.logical_records),
+                )
+            else:
+                raise CostModelError(
+                    f"base dataset {dataset_vertex.name!r} has neither a size annotation "
+                    "nor materialized data; the What-if engine cannot cost the workflow"
+                )
+        return sizes
+
+    def _estimate_sizes_until(self, workflow: Workflow, job_name: str) -> Dict[str, Tuple[float, float]]:
+        sizes = self._base_dataset_sizes(workflow)
+        for vertex in workflow.topological_order():
+            if vertex.name == job_name:
+                break
+            self._propagate_outputs(vertex, workflow, sizes)
+        return sizes
+
+    def _propagate_outputs(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> None:
+        profile = vertex.annotations.profile
+        if profile is None:
+            return
+        for pipeline in vertex.job.pipelines:
+            in_bytes, in_records = self._pipeline_input(vertex, pipeline, workflow, sizes)
+            flow = self._pipeline_flow(pipeline, profile, in_bytes, in_records)
+            previous = sizes.get(pipeline.output_dataset, (0.0, 0.0))
+            sizes[pipeline.output_dataset] = (
+                previous[0] + flow.output_bytes,
+                previous[1] + flow.output_records,
+            )
+
+    # ------------------------------------------------------ dataflow derive
+    def derive_job_dataflow(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> JobDataflow:
+        """Derive the expected dataflow of one job from annotations and sizes."""
+        job = vertex.job
+        profile = vertex.annotations.profile
+        if profile is None:
+            raise CostModelError(f"job {vertex.name!r} has no profile annotation")
+
+        input_bytes, input_records = self._job_input(vertex, workflow, sizes)
+
+        flows: List[_PipelineFlow] = []
+        for pipeline in job.pipelines:
+            p_bytes, p_records = self._pipeline_input(vertex, pipeline, workflow, sizes)
+            flows.append(self._pipeline_flow(pipeline, profile, p_bytes, p_records))
+
+        map_output_records = sum(f.map_output_records for f in flows if not f.is_map_only)
+        map_output_bytes = sum(f.map_output_bytes for f in flows if not f.is_map_only)
+        output_records = sum(f.output_records for f in flows)
+        output_bytes = sum(f.output_bytes for f in flows)
+        map_cpu_units = sum(f.map_cpu_units for f in flows)
+        reduce_cpu_units = sum(f.reduce_cpu_units for f in flows)
+
+        shuffle_records = map_output_records
+        shuffle_bytes = map_output_bytes
+        if job.has_combiner and job.config.combiner_enabled and map_output_records > 0:
+            reduction = max(0.0, min(1.0, profile.combine_reduction))
+            shuffle_records = map_output_records * reduction
+            shuffle_bytes = map_output_bytes * reduction
+
+        reduce_input_records = shuffle_records
+        map_cpu_per_record = map_cpu_units / input_records if input_records > 0 else 1.0
+        reduce_cpu_per_record = (
+            reduce_cpu_units / reduce_input_records if reduce_input_records > 0 else 1.0
+        )
+
+        distinct_groups = self._distinct_reduce_groups(job, profile)
+        distinct_partition_keys = self._distinct_partition_keys(job, profile)
+        chained_map_tasks = self._chained_map_tasks(vertex, workflow)
+
+        return JobDataflow(
+            input_bytes=max(input_bytes, 1.0),
+            input_records=max(input_records, 1.0),
+            map_output_records=map_output_records,
+            map_output_bytes=map_output_bytes,
+            shuffle_records=shuffle_records,
+            shuffle_bytes=shuffle_bytes,
+            reduce_input_records=reduce_input_records,
+            output_records=output_records,
+            output_bytes=output_bytes,
+            map_cpu_cost_per_record=map_cpu_per_record,
+            reduce_cpu_cost_per_record=reduce_cpu_per_record,
+            map_only=job.is_map_only,
+            pipeline_count=len(job.pipelines),
+            distinct_reduce_groups=distinct_groups,
+            distinct_partition_keys=distinct_partition_keys,
+            chained_map_tasks=chained_map_tasks,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _job_input(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> Tuple[float, float]:
+        total_bytes = 0.0
+        total_records = 0.0
+        for dataset_name in vertex.job.input_datasets:
+            d_bytes, d_records = self._dataset_size(dataset_name, sizes, vertex)
+            fraction = self._job_prune_fraction(vertex.job, dataset_name, workflow)
+            total_bytes += d_bytes * fraction
+            total_records += d_records * fraction
+        return total_bytes, total_records
+
+    def _pipeline_input(
+        self,
+        vertex: JobVertex,
+        pipeline: Pipeline,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> Tuple[float, float]:
+        total_bytes = 0.0
+        total_records = 0.0
+        for dataset_name in pipeline.input_datasets:
+            d_bytes, d_records = self._dataset_size(dataset_name, sizes, vertex)
+            fraction = self._prune_fraction(pipeline, dataset_name, workflow)
+            total_bytes += d_bytes * fraction
+            total_records += d_records * fraction
+        return total_bytes, total_records
+
+    def _dataset_size(
+        self,
+        dataset_name: str,
+        sizes: Dict[str, Tuple[float, float]],
+        vertex: JobVertex,
+    ) -> Tuple[float, float]:
+        if dataset_name in sizes:
+            return sizes[dataset_name]
+        raise CostModelError(
+            f"size of dataset {dataset_name!r} (input of job {vertex.name!r}) is unknown; "
+            "was the workflow traversed out of topological order?"
+        )
+
+    def _job_prune_fraction(self, job: MapReduceJob, dataset_name: str, workflow: Workflow) -> float:
+        fractions = []
+        for pipeline in job.pipelines:
+            if pipeline.reads(dataset_name):
+                fractions.append(self._prune_fraction(pipeline, dataset_name, workflow))
+        if not fractions:
+            return 1.0
+        return max(fractions)
+
+    def _prune_fraction(self, pipeline: Pipeline, dataset_name: str, workflow: Workflow) -> float:
+        allowed = pipeline.allowed_partitions(dataset_name)
+        if allowed is None:
+            return 1.0
+        total = self._dataset_partition_count(dataset_name, workflow)
+        if total is None or total <= 0:
+            return 1.0
+        return max(0.0, min(1.0, len(allowed) / total))
+
+    @staticmethod
+    def _dataset_partition_count(dataset_name: str, workflow: Workflow) -> Optional[int]:
+        producer = workflow.producer_of(dataset_name)
+        if producer is not None:
+            partitioner = producer.job.effective_partitioner
+            if partitioner.kind == "range":
+                return len(partitioner.split_points) + 1
+            if not producer.job.is_map_only:
+                return max(1, producer.job.config.num_reduce_tasks)
+            return None
+        if workflow.has_dataset(dataset_name):
+            annotation = workflow.dataset(dataset_name).annotation
+            if annotation is not None and annotation.split_points is not None:
+                return len(annotation.split_points) + 1
+        return None
+
+    def _pipeline_flow(
+        self,
+        pipeline: Pipeline,
+        profile: ProfileAnnotation,
+        input_bytes: float,
+        input_records: float,
+    ) -> _PipelineFlow:
+        record_bytes = input_bytes / input_records if input_records > 0 else profile.input_record_bytes
+        records = input_records
+        map_cpu_units = 0.0
+        for op in pipeline.map_ops:
+            op_profile = profile.operator(op.name) or OperatorProfile(
+                selectivity=1.0,
+                cpu_cost_per_record=op.cpu_cost_per_record,
+                output_record_bytes=record_bytes,
+            )
+            map_cpu_units += records * op_profile.cpu_cost_per_record
+            records *= op_profile.selectivity
+            record_bytes = op_profile.output_record_bytes
+        map_output_records = records
+        map_output_bytes = records * record_bytes
+
+        if pipeline.is_map_only:
+            return _PipelineFlow(
+                map_output_records=map_output_records,
+                map_output_bytes=map_output_bytes,
+                output_records=map_output_records,
+                output_bytes=map_output_bytes,
+                map_cpu_units=map_cpu_units,
+                reduce_cpu_units=0.0,
+                is_map_only=True,
+                output_dataset=pipeline.output_dataset,
+            )
+
+        reduce_cpu_units = 0.0
+        for op in pipeline.reduce_ops:
+            op_profile = profile.operator(op.name) or OperatorProfile(
+                selectivity=1.0,
+                cpu_cost_per_record=op.cpu_cost_per_record,
+                output_record_bytes=record_bytes,
+            )
+            reduce_cpu_units += records * op_profile.cpu_cost_per_record
+            records *= op_profile.selectivity
+            record_bytes = op_profile.output_record_bytes
+        return _PipelineFlow(
+            map_output_records=map_output_records,
+            map_output_bytes=map_output_bytes,
+            output_records=records,
+            output_bytes=records * record_bytes,
+            map_cpu_units=map_cpu_units,
+            reduce_cpu_units=reduce_cpu_units,
+            is_map_only=False,
+            output_dataset=pipeline.output_dataset,
+        )
+
+    @staticmethod
+    def _distinct_reduce_groups(job: MapReduceJob, profile: ProfileAnnotation) -> Optional[float]:
+        total = 0.0
+        found = False
+        for pipeline in job.pipelines:
+            fields = pipeline.shuffle_group_fields
+            if not fields:
+                continue
+            cardinality = profile.cardinality(fields)
+            if cardinality > 0:
+                total += cardinality
+                found = True
+        return total if found else None
+
+    @staticmethod
+    def _distinct_partition_keys(job: MapReduceJob, profile: ProfileAnnotation) -> Optional[float]:
+        if job.is_map_only:
+            return None
+        partitioner = job.effective_partitioner
+        if not partitioner.fields:
+            return None
+        cardinality = profile.cardinality(partitioner.fields)
+        return cardinality if cardinality > 0 else None
+
+    @staticmethod
+    def _chained_map_tasks(vertex: JobVertex, workflow: Workflow) -> Optional[int]:
+        if not vertex.job.config.chained_input:
+            return None
+        for dataset_name in vertex.job.input_datasets:
+            producer = workflow.producer_of(dataset_name)
+            if producer is not None and not producer.job.is_map_only:
+                return max(1, producer.job.config.num_reduce_tasks)
+            if producer is not None and producer.job.config.chained_input:
+                # Producer is itself chained; inherit its constraint.
+                inherited = WhatIfEngine._chained_map_tasks(producer, workflow)
+                if inherited is not None:
+                    return inherited
+        return None
+
+    # ------------------------------------------------------------- fallback
+    def _job_count_estimate(self, workflow: Workflow) -> WorkflowCostEstimate:
+        per_job: Dict[str, JobTimeEstimate] = {}
+        for vertex in workflow.jobs:
+            per_job[vertex.name] = JobTimeEstimate(
+                map_phase_s=JOB_COUNT_COST_SECONDS / 2,
+                shuffle_s=0.0,
+                reduce_phase_s=0.0 if vertex.job.is_map_only else JOB_COUNT_COST_SECONDS / 2,
+                startup_s=0.0,
+                num_map_tasks=1,
+                num_reduce_tasks=vertex.job.config.num_reduce_tasks,
+                map_task_s=0.0,
+                reduce_task_s=0.0,
+                details={"basis": 1.0},
+            )
+        total = sum(estimate.total_s for estimate in per_job.values())
+        return WorkflowCostEstimate(total_s=total, per_job=per_job, cost_basis="job_count")

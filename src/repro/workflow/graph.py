@@ -1,0 +1,309 @@
+"""The workflow DAG: MapReduce jobs and datasets in producer-consumer relationships.
+
+A workflow ``W`` is a DAG ``G_W`` whose vertices are MapReduce jobs and
+datasets, and whose edges connect jobs to their input and output datasets
+(paper §2.1).  Edges are derived from the jobs' declared input/output dataset
+names, so the graph is always consistent with the executable jobs it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import WorkflowValidationError
+from repro.dfs.dataset import Dataset
+from repro.mapreduce.job import MapReduceJob
+from repro.workflow.annotations import DatasetAnnotation, JobAnnotations
+
+
+@dataclass
+class JobVertex:
+    """A job vertex: the executable job plus its annotations."""
+
+    job: MapReduceJob
+    annotations: JobAnnotations = field(default_factory=JobAnnotations)
+
+    @property
+    def name(self) -> str:
+        """The job's name (vertex identity)."""
+        return self.job.name
+
+    def copy(self) -> "JobVertex":
+        """Copy of the vertex with copied job and annotations."""
+        return JobVertex(job=self.job.copy(), annotations=self.annotations.copy())
+
+
+@dataclass
+class DatasetVertex:
+    """A dataset vertex: name, optional materialized data, and annotations."""
+
+    name: str
+    dataset: Optional[Dataset] = None
+    annotation: Optional[DatasetAnnotation] = None
+
+    def copy(self) -> "DatasetVertex":
+        """Copy of the vertex (the materialized dataset object is shared)."""
+        return DatasetVertex(name=self.name, dataset=self.dataset, annotation=self.annotation)
+
+
+class Workflow:
+    """A DAG of MapReduce jobs connected through datasets."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._jobs: Dict[str, JobVertex] = {}
+        self._datasets: Dict[str, DatasetVertex] = {}
+
+    # ---------------------------------------------------------- construction
+    def add_job(
+        self,
+        job: MapReduceJob,
+        annotations: Optional[JobAnnotations] = None,
+    ) -> JobVertex:
+        """Add a job vertex (dataset vertices for its inputs/outputs are auto-created)."""
+        if job.name in self._jobs:
+            raise WorkflowValidationError(f"duplicate job name {job.name!r}")
+        vertex = JobVertex(job=job, annotations=annotations or JobAnnotations())
+        self._jobs[job.name] = vertex
+        for dataset_name in job.input_datasets + job.output_datasets:
+            if dataset_name not in self._datasets:
+                self._datasets[dataset_name] = DatasetVertex(name=dataset_name)
+        return vertex
+
+    def add_dataset(
+        self,
+        name: str,
+        dataset: Optional[Dataset] = None,
+        annotation: Optional[DatasetAnnotation] = None,
+    ) -> DatasetVertex:
+        """Add (or enrich) a dataset vertex."""
+        vertex = self._datasets.get(name)
+        if vertex is None:
+            vertex = DatasetVertex(name=name)
+            self._datasets[name] = vertex
+        if dataset is not None:
+            vertex.dataset = dataset
+        if annotation is not None:
+            vertex.annotation = annotation
+        return vertex
+
+    def remove_job(self, name: str) -> None:
+        """Remove a job vertex (dataset vertices are kept; prune separately)."""
+        if name not in self._jobs:
+            raise WorkflowValidationError(f"job {name!r} not in workflow")
+        del self._jobs[name]
+
+    def remove_dataset(self, name: str) -> None:
+        """Remove a dataset vertex if no remaining job references it."""
+        for vertex in self._jobs.values():
+            job = vertex.job
+            if name in job.input_datasets or name in job.output_datasets:
+                raise WorkflowValidationError(
+                    f"dataset {name!r} is still referenced by job {job.name!r}"
+                )
+        self._datasets.pop(name, None)
+
+    def prune_orphan_datasets(self) -> List[str]:
+        """Drop dataset vertices no job reads or writes; returns their names."""
+        referenced: Set[str] = set()
+        for vertex in self._jobs.values():
+            referenced.update(vertex.job.input_datasets)
+            referenced.update(vertex.job.output_datasets)
+        orphans = [name for name in self._datasets if name not in referenced]
+        for name in orphans:
+            del self._datasets[name]
+        return orphans
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def jobs(self) -> List[JobVertex]:
+        """Job vertices in insertion order."""
+        return list(self._jobs.values())
+
+    @property
+    def job_names(self) -> List[str]:
+        """Job names in insertion order."""
+        return list(self._jobs)
+
+    @property
+    def datasets(self) -> List[DatasetVertex]:
+        """Dataset vertices in insertion order."""
+        return list(self._datasets.values())
+
+    def job(self, name: str) -> JobVertex:
+        """Fetch a job vertex by name."""
+        if name not in self._jobs:
+            raise WorkflowValidationError(f"job {name!r} not in workflow")
+        return self._jobs[name]
+
+    def has_job(self, name: str) -> bool:
+        """Whether a job with this name exists."""
+        return name in self._jobs
+
+    def dataset(self, name: str) -> DatasetVertex:
+        """Fetch a dataset vertex by name."""
+        if name not in self._datasets:
+            raise WorkflowValidationError(f"dataset {name!r} not in workflow")
+        return self._datasets[name]
+
+    def has_dataset(self, name: str) -> bool:
+        """Whether a dataset with this name exists."""
+        return name in self._datasets
+
+    # ------------------------------------------------------------- structure
+    def producer_of(self, dataset_name: str) -> Optional[JobVertex]:
+        """The job writing ``dataset_name`` (``None`` for base datasets)."""
+        for vertex in self._jobs.values():
+            if dataset_name in vertex.job.output_datasets:
+                return vertex
+        return None
+
+    def consumers_of(self, dataset_name: str) -> List[JobVertex]:
+        """All jobs reading ``dataset_name``."""
+        return [v for v in self._jobs.values() if dataset_name in v.job.input_datasets]
+
+    def producer_jobs(self, job_name: str) -> List[JobVertex]:
+        """Jobs whose output datasets this job reads."""
+        vertex = self.job(job_name)
+        producers: List[JobVertex] = []
+        for dataset_name in vertex.job.input_datasets:
+            producer = self.producer_of(dataset_name)
+            if producer is not None and producer.name != job_name and producer not in producers:
+                producers.append(producer)
+        return producers
+
+    def consumer_jobs(self, job_name: str) -> List[JobVertex]:
+        """Jobs that read any of this job's output datasets."""
+        vertex = self.job(job_name)
+        consumers: List[JobVertex] = []
+        for dataset_name in vertex.job.output_datasets:
+            for consumer in self.consumers_of(dataset_name):
+                if consumer.name != job_name and consumer not in consumers:
+                    consumers.append(consumer)
+        return consumers
+
+    def base_datasets(self) -> List[DatasetVertex]:
+        """Dataset vertices produced by no job (the workflow inputs)."""
+        return [d for d in self._datasets.values() if self.producer_of(d.name) is None]
+
+    def terminal_datasets(self) -> List[DatasetVertex]:
+        """Dataset vertices consumed by no job (the workflow outputs)."""
+        return [d for d in self._datasets.values() if not self.consumers_of(d.name)]
+
+    def intermediate_datasets(self) -> List[DatasetVertex]:
+        """Datasets both produced and consumed inside the workflow."""
+        return [
+            d
+            for d in self._datasets.values()
+            if self.producer_of(d.name) is not None and self.consumers_of(d.name)
+        ]
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of job vertices."""
+        return len(self._jobs)
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check the workflow is a consistent DAG; raise on problems."""
+        writers: Dict[str, str] = {}
+        for vertex in self._jobs.values():
+            for output in vertex.job.output_datasets:
+                if output in writers and writers[output] != vertex.name:
+                    raise WorkflowValidationError(
+                        f"dataset {output!r} written by both {writers[output]!r} and {vertex.name!r}"
+                    )
+                writers[output] = vertex.name
+            overlap = set(vertex.job.input_datasets) & set(vertex.job.output_datasets)
+            if overlap:
+                raise WorkflowValidationError(
+                    f"job {vertex.name!r} reads and writes the same dataset(s): {sorted(overlap)}"
+                )
+        # Cycle detection via topological sort.
+        self.topological_order()
+
+    def topological_order(self) -> List[JobVertex]:
+        """Jobs in topological (producer before consumer) order.
+
+        Ties are broken by insertion order so traversal — and therefore the
+        optimizer's optimization-unit generation — is deterministic.
+        """
+        in_degree: Dict[str, int] = {}
+        for vertex in self._jobs.values():
+            in_degree[vertex.name] = len(self.producer_jobs(vertex.name))
+        order: List[JobVertex] = []
+        ready = [name for name in self._jobs if in_degree[name] == 0]
+        while ready:
+            name = ready.pop(0)
+            vertex = self._jobs[name]
+            order.append(vertex)
+            for consumer in self.consumer_jobs(name):
+                in_degree[consumer.name] -= 1
+                if in_degree[consumer.name] == 0:
+                    ready.append(consumer.name)
+            ready.sort(key=lambda n: list(self._jobs).index(n))
+        if len(order) != len(self._jobs):
+            raise WorkflowValidationError("workflow graph contains a cycle")
+        return order
+
+    def topological_levels(self) -> List[List[JobVertex]]:
+        """Jobs grouped into levels of concurrently runnable jobs.
+
+        A job's level is one more than the maximum level of its producers;
+        jobs in the same level have no dependency path between them and can
+        run concurrently on the cluster.
+        """
+        levels: Dict[str, int] = {}
+        for vertex in self.topological_order():
+            producers = self.producer_jobs(vertex.name)
+            levels[vertex.name] = 1 + max((levels[p.name] for p in producers), default=-1)
+        grouped: Dict[int, List[JobVertex]] = {}
+        for name, level in levels.items():
+            grouped.setdefault(level, []).append(self._jobs[name])
+        return [grouped[level] for level in sorted(grouped)]
+
+    def depends_on(self, consumer: str, producer: str) -> bool:
+        """Whether ``consumer`` transitively depends on ``producer``."""
+        frontier = [consumer]
+        seen: Set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current == producer:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(p.name for p in self.producer_jobs(current))
+        return False
+
+    # ----------------------------------------------------------------- copy
+    def copy(self, name: Optional[str] = None) -> "Workflow":
+        """Deep-enough copy of the workflow (materialized datasets shared)."""
+        clone = Workflow(name=name or self.name)
+        for vertex in self._jobs.values():
+            copied = vertex.copy()
+            clone._jobs[copied.name] = copied
+        for dataset_vertex in self._datasets.values():
+            clone._datasets[dataset_vertex.name] = dataset_vertex.copy()
+        return clone
+
+    def replace_job(self, name: str, job: MapReduceJob, annotations: Optional[JobAnnotations] = None) -> None:
+        """Replace a job vertex in place, keeping its position in insertion order."""
+        if name not in self._jobs:
+            raise WorkflowValidationError(f"job {name!r} not in workflow")
+        existing = self._jobs[name]
+        new_vertex = JobVertex(job=job, annotations=annotations or existing.annotations)
+        rebuilt: Dict[str, JobVertex] = {}
+        for key, value in self._jobs.items():
+            if key == name:
+                rebuilt[job.name] = new_vertex
+            else:
+                rebuilt[key] = value
+        self._jobs = rebuilt
+        for dataset_name in job.input_datasets + job.output_datasets:
+            if dataset_name not in self._datasets:
+                self._datasets[dataset_name] = DatasetVertex(name=dataset_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workflow(name={self.name!r}, jobs={len(self._jobs)}, datasets={len(self._datasets)})"

@@ -1,0 +1,69 @@
+"""The eight evaluation workflows of the paper's §7 (Table 1).
+
+==== ============================== ==============
+Abbr Workflow                        Paper dataset
+==== ============================== ==============
+IR   Information Retrieval (TF-IDF)  264 GB
+SN   Social Network Analysis         267 GB
+LA   Log Analysis                    500 GB
+WG   Web Graph Analysis (PageRank)   255 GB
+BA   Business Analytics Query (Q17)  550 GB
+BR   Business Report Generation      530 GB
+PJ   Post-processing Jobs            10 GB
+US   User-defined Logical Splits     530 GB
+==== ============================== ==============
+
+Each builder returns a :class:`Workload` bundling the annotated workflow, the
+generated base datasets (MB-scale data carrying a ``scale_factor`` so logical
+sizes match the paper), and metadata.  ``build_workload("IR")`` is the main
+entry point.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.information_retrieval import build_information_retrieval
+from repro.workloads.social_network import build_social_network
+from repro.workloads.log_analysis import build_log_analysis
+from repro.workloads.web_graph import build_web_graph
+from repro.workloads.business_analytics import build_business_analytics
+from repro.workloads.business_report import build_business_report
+from repro.workloads.post_processing import build_post_processing
+from repro.workloads.logical_splits import build_logical_splits
+
+WORKLOAD_BUILDERS = {
+    "IR": build_information_retrieval,
+    "SN": build_social_network,
+    "LA": build_log_analysis,
+    "WG": build_web_graph,
+    "BA": build_business_analytics,
+    "BR": build_business_report,
+    "PJ": build_post_processing,
+    "US": build_logical_splits,
+}
+
+WORKLOAD_ORDER = ("IR", "SN", "LA", "WG", "BA", "BR", "PJ", "US")
+
+
+def build_workload(abbreviation: str, scale: float = 1.0, seed: int = 42) -> Workload:
+    """Build one of the eight evaluation workloads by its abbreviation."""
+    key = abbreviation.upper()
+    if key not in WORKLOAD_BUILDERS:
+        raise KeyError(
+            f"unknown workload {abbreviation!r}; expected one of {sorted(WORKLOAD_BUILDERS)}"
+        )
+    return WORKLOAD_BUILDERS[key](scale=scale, seed=seed)
+
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_BUILDERS",
+    "WORKLOAD_ORDER",
+    "build_workload",
+    "build_information_retrieval",
+    "build_social_network",
+    "build_log_analysis",
+    "build_web_graph",
+    "build_business_analytics",
+    "build_business_report",
+    "build_post_processing",
+    "build_logical_splits",
+]

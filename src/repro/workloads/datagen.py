@@ -1,0 +1,247 @@
+"""Synthetic data generators for the evaluation workloads.
+
+Each generator mirrors the data described in the paper's §7.1: a random
+document corpus partitioned by document (TF-IDF), power-law paper/author
+pairs (coauthorship), the uservisits/pageranks datasets of Pavlo et al. [17],
+a power-law web adjacency list (PageRank), TPC-H-like lineitem/part tables
+(Q17 and report generation), and small post-processing / user-log datasets.
+
+All generators are deterministic given their seed, produce dict records, and
+return :class:`~repro.dfs.dataset.Dataset` objects with the layouts
+(partitioning/ordering) the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.records import Record
+from repro.common.rng import DeterministicRNG
+from repro.dfs.dataset import Dataset
+from repro.dfs.layout import DataLayout, PartitionScheme
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(8, int(count * scale))
+
+
+# ---------------------------------------------------------------------------
+# Information retrieval (TF-IDF)
+# ---------------------------------------------------------------------------
+
+
+def generate_document_corpus(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """Word-occurrence records ``{doc, word}`` partitioned (and sorted) on doc."""
+    rng = DeterministicRNG(seed)
+    num_docs = _scaled(60, scale)
+    words_per_doc = _scaled(40, scale ** 0.5)
+    vocabulary = [f"w{index:04d}" for index in range(_scaled(300, scale))]
+    records: List[Record] = []
+    for doc_id in range(num_docs):
+        doc = f"doc{doc_id:05d}"
+        for _ in range(words_per_doc):
+            word = vocabulary[rng.zipf(len(vocabulary), alpha=1.2) - 1]
+            records.append({"doc": doc, "word": word})
+    layout = DataLayout(
+        partitioning=PartitionScheme.hashed("doc"),
+        sort_fields=("doc",),
+    )
+    return Dataset("corpus", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# Social network analysis (coauthors)
+# ---------------------------------------------------------------------------
+
+
+def generate_paper_authors(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """``{paper, author}`` pairs from a power-law author popularity distribution."""
+    rng = DeterministicRNG(seed)
+    num_papers = _scaled(400, scale)
+    num_authors = _scaled(120, scale)
+    records: List[Record] = []
+    for paper_id in range(num_papers):
+        paper = f"p{paper_id:06d}"
+        coauthors = rng.randint(2, 5)
+        chosen = set()
+        while len(chosen) < coauthors:
+            chosen.add(rng.zipf(num_authors, alpha=1.3))
+        for author_index in sorted(chosen):
+            records.append({"paper": paper, "author": f"a{author_index:05d}"})
+    layout = DataLayout(
+        partitioning=PartitionScheme.hashed("paper"),
+        sort_fields=("paper",),
+    )
+    return Dataset("paper_authors", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# Log analysis (Pavlo et al. join task)
+# ---------------------------------------------------------------------------
+
+
+def generate_uservisits(scale: float = 1.0, seed: int = 42, num_days: int = 365) -> Dataset:
+    """``{ip, url, date, revenue}`` range-partitioned on the visit date."""
+    rng = DeterministicRNG(seed)
+    num_visits = _scaled(4_000, scale)
+    num_urls = _scaled(300, scale)
+    records: List[Record] = []
+    for _ in range(num_visits):
+        records.append(
+            {
+                "ip": f"10.0.{rng.randint(0, 255)}.{rng.randint(0, 255)}",
+                "url": f"url{rng.zipf(num_urls, alpha=1.1):05d}",
+                "date": float(rng.randint(0, num_days - 1)),
+                "revenue": round(rng.uniform(0.01, 10.0), 4),
+            }
+        )
+    split_points = [float(day) for day in range(30, num_days, 30)]
+    layout = DataLayout(
+        partitioning=PartitionScheme.ranged("date", split_points),
+        sort_fields=("date",),
+    )
+    return Dataset("uservisits", records=records, layout=layout)
+
+
+def generate_pageranks(scale: float = 1.0, seed: int = 43) -> Dataset:
+    """``{url, rank}`` records, one per URL."""
+    rng = DeterministicRNG(seed)
+    num_urls = _scaled(300, scale)
+    records = [
+        {"url": f"url{index:05d}", "rank": rng.randint(1, 1_000)}
+        for index in range(1, num_urls + 1)
+    ]
+    layout = DataLayout(partitioning=PartitionScheme.hashed("url"))
+    return Dataset("pageranks", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# Web graph analysis (PageRank)
+# ---------------------------------------------------------------------------
+
+
+def generate_adjacency_list(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """``{src, dst}`` edges with power-law out-degrees."""
+    rng = DeterministicRNG(seed)
+    num_pages = _scaled(250, scale)
+    records: List[Record] = []
+    for src in range(1, num_pages + 1):
+        out_degree = min(num_pages - 1, rng.zipf(30, alpha=1.4) + 1)
+        targets = set()
+        while len(targets) < out_degree:
+            dst = rng.randint(1, num_pages)
+            if dst != src:
+                targets.add(dst)
+        for dst in sorted(targets):
+            records.append({"src": f"page{src:05d}", "dst": f"page{dst:05d}"})
+    layout = DataLayout(partitioning=PartitionScheme.hashed("src"))
+    return Dataset("adjacency", records=records, layout=layout)
+
+
+def generate_initial_ranks(scale: float = 1.0, seed: int = 44) -> Dataset:
+    """``{src, rank}`` initial PageRank values (uniform)."""
+    num_pages = _scaled(250, scale)
+    records = [
+        {"src": f"page{index:05d}", "rank": 1.0 / num_pages} for index in range(1, num_pages + 1)
+    ]
+    layout = DataLayout(partitioning=PartitionScheme.hashed("src"))
+    return Dataset("ranks", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# TPC-H-like tables (business analytics query, business report generation)
+# ---------------------------------------------------------------------------
+
+
+def generate_lineitem(scale: float = 1.0, seed: int = 42, name: str = "lineitem") -> Dataset:
+    """``{orderid, partid, suppid, quantity, price}`` partitioned on partid."""
+    rng = DeterministicRNG(seed)
+    num_lineitems = _scaled(5_000, scale)
+    num_orders = _scaled(1_200, scale)
+    num_parts = _scaled(200, scale)
+    num_suppliers = _scaled(50, scale)
+    records: List[Record] = []
+    for _ in range(num_lineitems):
+        records.append(
+            {
+                "orderid": float(rng.randint(1, num_orders)),
+                "partid": float(rng.randint(1, num_parts)),
+                "suppid": float(rng.randint(1, num_suppliers)),
+                "quantity": float(rng.randint(1, 50)),
+                "price": round(rng.uniform(1.0, 1_000.0), 2),
+            }
+        )
+    layout = DataLayout(partitioning=PartitionScheme.hashed("partid"))
+    return Dataset(name, records=records, layout=layout)
+
+
+def generate_part(scale: float = 1.0, seed: int = 45) -> Dataset:
+    """``{partid, brand, container, size}`` partitioned on partid."""
+    rng = DeterministicRNG(seed)
+    num_parts = _scaled(200, scale)
+    brands = [f"Brand#{index}" for index in range(1, 6)]
+    containers = ["JUMBO BOX", "MED BAG", "SM CASE", "LG DRUM"]
+    records: List[Record] = []
+    for part_id in range(1, num_parts + 1):
+        records.append(
+            {
+                "partid": float(part_id),
+                "brand": rng.choice(brands),
+                "container": rng.choice(containers),
+                "size": float(rng.randint(1, 50)),
+            }
+        )
+    layout = DataLayout(partitioning=PartitionScheme.hashed("partid"))
+    return Dataset("part", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# Post-processing jobs (small dataset)
+# ---------------------------------------------------------------------------
+
+
+def generate_metrics(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """Small ``{groupid, x, y}`` dataset for the covariance/correlation jobs."""
+    rng = DeterministicRNG(seed)
+    num_records = _scaled(800, scale)
+    num_groups = _scaled(40, scale)
+    records: List[Record] = []
+    for _ in range(num_records):
+        x = rng.uniform(0.0, 100.0)
+        records.append(
+            {
+                "groupid": float(rng.randint(1, num_groups)),
+                "x": round(x, 4),
+                "y": round(x * 0.7 + rng.gauss(0.0, 10.0), 4),
+            }
+        )
+    layout = DataLayout(partitioning=PartitionScheme.hashed("groupid"))
+    return Dataset("metrics", records=records, layout=layout)
+
+
+# ---------------------------------------------------------------------------
+# User-defined logical splits (web portal logs)
+# ---------------------------------------------------------------------------
+
+
+def generate_portal_logs(scale: float = 1.0, seed: int = 42) -> Dataset:
+    """``{userid, age, pageid, duration}`` web-portal access logs."""
+    rng = DeterministicRNG(seed)
+    num_events = _scaled(4_000, scale)
+    num_users = _scaled(500, scale)
+    ages: Dict[int, float] = {}
+    records: List[Record] = []
+    for _ in range(num_events):
+        user = rng.randint(1, num_users)
+        if user not in ages:
+            ages[user] = float(rng.randint(10, 79))
+        records.append(
+            {
+                "userid": float(user),
+                "age": ages[user],
+                "pageid": float(rng.zipf(200, alpha=1.2)),
+                "duration": round(rng.uniform(1.0, 600.0), 2),
+            }
+        )
+    layout = DataLayout(partitioning=PartitionScheme.hashed("userid"))
+    return Dataset("portal_logs", records=records, layout=layout)

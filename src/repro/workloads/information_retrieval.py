@@ -1,0 +1,130 @@
+"""Information Retrieval workload (IR): the TF-IDF workflow of §7.1.
+
+Three jobs over a randomly generated corpus partitioned on the document name:
+
+* **IR_J1** — term frequency: count occurrences of each ``(doc, word)`` pair;
+* **IR_J2** — per-document totals: total number of words per document, joined
+  back onto each ``(doc, word)`` record;
+* **IR_J3** — document frequency and the final TF-IDF weight per
+  ``(word, doc)`` pair.
+
+IR_J2 groups on ``{doc}`` which is a subset of IR_J1's ``{doc, word}`` key
+(and flows unchanged through IR_J1's reduce), so intra-job vertical packing
+applies to IR_J2 — followed by inter-job packing that folds it into IR_J1.
+IR_J3 re-groups on ``{word}``, so it must stay a separate shuffling job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.common.records import KeyValue, Record
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import simple_job
+from repro.workflow.annotations import JobAnnotations, SchemaAnnotation
+from repro.workflow.graph import Workflow
+from repro.workloads import common, datagen
+from repro.workloads.base import Workload, apply_paper_scale, attach_dataset_annotations
+
+
+def _doc_totals_reduce(key: Record, values: List[Record]) -> Iterable[KeyValue]:
+    total = sum(float(v.get("tf", 0.0) or 0.0) for v in values)
+    for value in values:
+        yield dict(key), {"word": value.get("word"), "tf": value.get("tf"), "doc_total": total}
+
+
+def _tfidf_reduce(key: Record, values: List[Record]) -> Iterable[KeyValue]:
+    documents = {str(v.get("doc")) for v in values}
+    doc_frequency = max(1, len(documents))
+    for value in values:
+        tf = float(value.get("tf", 0.0) or 0.0)
+        doc_total = max(1.0, float(value.get("doc_total", 1.0) or 1.0))
+        weight = (tf / doc_total) * math.log(1.0 + 1000.0 / doc_frequency)
+        yield dict(key), {"doc": value.get("doc"), "tfidf": round(weight, 6)}
+
+
+def build_information_retrieval(scale: float = 1.0, seed: int = 42) -> Workload:
+    """Build the IR (TF-IDF) workload at the given data-generation scale."""
+    corpus = datagen.generate_document_corpus(scale=scale, seed=seed)
+    apply_paper_scale({"corpus": corpus}, {"corpus": 264.0})
+
+    workflow = Workflow(name="information_retrieval")
+
+    j1 = simple_job(
+        name="IR_J1",
+        input_dataset="corpus",
+        output_dataset="ir_tf",
+        map_fn=common.key_by(["doc", "word"], value_fields=[], add_counter="n"),
+        reduce_fn=common.sum_reduce("n", "tf"),
+        group_fields=("doc", "word"),
+        combiner=common.sum_combiner("n"),
+        map_cpu_cost=3.0,
+        reduce_cpu_cost=2.0,
+        config=JobConfig(num_reduce_tasks=8),
+    )
+    workflow.add_job(
+        j1,
+        JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=["doc"], v1=["doc", "word"],
+                k2=["doc", "word"], v2=["n"],
+                k3=["doc", "word"], v3=["tf"],
+            )
+        ),
+    )
+
+    j2 = simple_job(
+        name="IR_J2",
+        input_dataset="ir_tf",
+        output_dataset="ir_doc_totals",
+        map_fn=common.key_by(["doc"], value_fields=["word", "tf"]),
+        reduce_fn=_doc_totals_reduce,
+        group_fields=("doc",),
+        map_cpu_cost=2.0,
+        reduce_cpu_cost=3.0,
+        config=JobConfig(num_reduce_tasks=8),
+    )
+    workflow.add_job(
+        j2,
+        JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=["doc", "word"], v1=["doc", "word", "tf"],
+                k2=["doc"], v2=["word", "tf"],
+                k3=["doc"], v3=["word", "tf", "doc_total"],
+            )
+        ),
+    )
+
+    j3 = simple_job(
+        name="IR_J3",
+        input_dataset="ir_doc_totals",
+        output_dataset="ir_tfidf",
+        map_fn=common.key_by(["word"], value_fields=["doc", "tf", "doc_total"]),
+        reduce_fn=_tfidf_reduce,
+        group_fields=("word",),
+        map_cpu_cost=2.0,
+        reduce_cpu_cost=5.0,
+        config=JobConfig(num_reduce_tasks=8),
+    )
+    workflow.add_job(
+        j3,
+        JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=["doc"], v1=["doc", "word", "tf", "doc_total"],
+                k2=["word"], v2=["doc", "tf", "doc_total"],
+                k3=["word"], v3=["doc", "tfidf"],
+            )
+        ),
+    )
+
+    datasets = {"corpus": corpus}
+    attach_dataset_annotations(workflow, datasets)
+    return Workload(
+        name="Information Retrieval",
+        abbreviation="IR",
+        workflow=workflow,
+        base_datasets=datasets,
+        paper_dataset_gb=264.0,
+        description="TF-IDF over a randomly generated corpus partitioned on the document name.",
+    )

@@ -1,0 +1,117 @@
+"""Post-processing Jobs workload (PJ): small-data workflow (§7.1).
+
+Three jobs over a small (paper: 10 GB) dataset:
+
+* **PJ_J1** — scan and perform initial processing of the data;
+* **PJ_J2** — group-by covariance of the two measures;
+* **PJ_J3** — group-by correlation of the two measures.
+
+PJ_J2 and PJ_J3 share PJ_J1's output, so horizontal packing is *applicable* —
+but because the cluster can run both small jobs concurrently, packing them is
+a loss.  Rule-based optimizers (the Baseline and YSmart) pack them anyway;
+cost-based ones (Stubby, Horizontal, MRShare) correctly decline (§7.2/§7.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.common.records import KeyValue, Record
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import simple_job
+from repro.workflow.annotations import JobAnnotations, SchemaAnnotation
+from repro.workflow.graph import Workflow
+from repro.workloads import common, datagen
+from repro.workloads.base import Workload, apply_paper_scale, attach_dataset_annotations
+
+
+def _covariance_reduce(key: Record, values: List[Record]) -> Iterable[KeyValue]:
+    xs = [float(v.get("x", 0.0) or 0.0) for v in values]
+    ys = [float(v.get("y", 0.0) or 0.0) for v in values]
+    n = max(1, len(xs))
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / n
+    yield dict(key), {"covariance": round(covariance, 6)}
+
+
+def _correlation_reduce(key: Record, values: List[Record]) -> Iterable[KeyValue]:
+    xs = [float(v.get("x", 0.0) or 0.0) for v in values]
+    ys = [float(v.get("y", 0.0) or 0.0) for v in values]
+    n = max(1, len(xs))
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / n
+    std_x = math.sqrt(sum((x - mean_x) ** 2 for x in xs) / n)
+    std_y = math.sqrt(sum((y - mean_y) ** 2 for y in ys) / n)
+    correlation = covariance / (std_x * std_y) if std_x > 0 and std_y > 0 else 0.0
+    yield dict(key), {"correlation": round(correlation, 6)}
+
+
+def build_post_processing(scale: float = 1.0, seed: int = 42) -> Workload:
+    """Build the PJ (post-processing jobs) workload."""
+    metrics = datagen.generate_metrics(scale=scale, seed=seed)
+    apply_paper_scale({"metrics": metrics}, {"metrics": 10.0})
+
+    workflow = Workflow(name="post_processing")
+
+    j1 = simple_job(
+        name="PJ_J1",
+        input_dataset="metrics",
+        output_dataset="pj_clean",
+        map_fn=common.key_by(["groupid"], value_fields=["groupid", "x", "y"]),
+        reduce_fn=common.identity_reduce(),
+        group_fields=("groupid",),
+        map_cpu_cost=2.0,
+        reduce_cpu_cost=2.0,
+        config=JobConfig(num_reduce_tasks=4),
+    )
+    workflow.add_job(
+        j1,
+        JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=["groupid"], v1=["groupid", "x", "y"],
+                k2=["groupid"], v2=["groupid", "x", "y"],
+                k3=["groupid"], v3=["groupid", "x", "y"],
+            )
+        ),
+    )
+
+    analytic_specs = [
+        ("PJ_J2", "pj_cov", _covariance_reduce, 4.0),
+        ("PJ_J3", "pj_corr", _correlation_reduce, 5.0),
+    ]
+    for job_name, output_name, reduce_fn, reduce_cost in analytic_specs:
+        job = simple_job(
+            name=job_name,
+            input_dataset="pj_clean",
+            output_dataset=output_name,
+            map_fn=common.key_by(["groupid"], value_fields=["x", "y"]),
+            reduce_fn=reduce_fn,
+            group_fields=("groupid",),
+            map_cpu_cost=1.0,
+            reduce_cpu_cost=reduce_cost,
+            config=JobConfig(num_reduce_tasks=4),
+        )
+        workflow.add_job(
+            job,
+            JobAnnotations(
+                schema=SchemaAnnotation.of(
+                    k1=["groupid"], v1=["groupid", "x", "y"],
+                    k2=["groupid"], v2=["x", "y"],
+                    k3=["groupid"], v3=["covariance" if job_name == "PJ_J2" else "correlation"],
+                )
+            ),
+        )
+
+    datasets = {"metrics": metrics}
+    attach_dataset_annotations(workflow, datasets)
+    return Workload(
+        name="Post-processing Jobs",
+        abbreviation="PJ",
+        workflow=workflow,
+        base_datasets=datasets,
+        paper_dataset_gb=10.0,
+        description="Small-data covariance/correlation post-processing over a shared cleaned dataset.",
+    )

@@ -1,0 +1,16 @@
+"""Shared pytest configuration for the test suite.
+
+Registers a conservative Hypothesis profile: property-based tests in this
+suite exercise whole MapReduce executions, which are far slower than the
+microsecond-scale functions Hypothesis' default health checks expect.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")

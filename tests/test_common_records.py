@@ -1,0 +1,134 @@
+"""Tests for record helpers in repro.common.records."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.records import (
+    merge,
+    project,
+    record_size_bytes,
+    records_equal,
+    sort_key_for,
+)
+
+
+class TestProject:
+    def test_keeps_only_requested_fields(self):
+        record = {"a": 1, "b": 2, "c": 3}
+        assert project(record, ["a", "c"]) == {"a": 1, "c": 3}
+
+    def test_missing_fields_are_skipped(self):
+        assert project({"a": 1}, ["a", "zzz"]) == {"a": 1}
+
+    def test_empty_field_list(self):
+        assert project({"a": 1}, []) == {}
+
+    def test_does_not_mutate_input(self):
+        record = {"a": 1}
+        project(record, ["a"])
+        assert record == {"a": 1}
+
+
+class TestMerge:
+    def test_later_records_win(self):
+        assert merge({"a": 1, "b": 2}, {"b": 3}) == {"a": 1, "b": 3}
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge() == {}
+
+    def test_three_way_merge(self):
+        assert merge({"a": 1}, {"b": 2}, {"c": 3}) == {"a": 1, "b": 2, "c": 3}
+
+
+class TestSortKey:
+    def test_orders_numerically(self):
+        low = sort_key_for({"x": 2}, ["x"])
+        high = sort_key_for({"x": 10}, ["x"])
+        assert low < high
+
+    def test_none_sorts_before_values(self):
+        none_key = sort_key_for({"x": None}, ["x"])
+        value_key = sort_key_for({"x": -100}, ["x"])
+        assert none_key < value_key
+
+    def test_missing_field_treated_as_none(self):
+        assert sort_key_for({}, ["x"]) == sort_key_for({"x": None}, ["x"])
+
+    def test_strings_and_numbers_do_not_collide(self):
+        assert sort_key_for({"x": "5"}, ["x"]) != sort_key_for({"x": 5}, ["x"])
+
+    def test_multi_field_ordering(self):
+        a = sort_key_for({"x": 1, "y": 9}, ["x", "y"])
+        b = sort_key_for({"x": 1, "y": 10}, ["x", "y"])
+        c = sort_key_for({"x": 2, "y": 0}, ["x", "y"])
+        assert a < b < c
+
+    def test_bool_and_int_are_distinguishable(self):
+        assert sort_key_for({"x": True}, ["x"]) != sort_key_for({"x": 1}, ["x"])
+
+
+class TestRecordSize:
+    def test_size_positive(self):
+        assert record_size_bytes({"a": 1}) > 0
+
+    def test_larger_strings_cost_more(self):
+        small = record_size_bytes({"a": "x"})
+        big = record_size_bytes({"a": "x" * 100})
+        assert big > small
+
+    def test_more_fields_cost_more(self):
+        assert record_size_bytes({"a": 1, "b": 2}) > record_size_bytes({"a": 1})
+
+    def test_empty_record_has_minimum_size(self):
+        assert record_size_bytes({}) >= 1
+
+
+class TestRecordsEqual:
+    def test_order_insensitive(self):
+        left = [{"a": 1}, {"a": 2}]
+        right = [{"a": 2}, {"a": 1}]
+        assert records_equal(left, right)
+
+    def test_multiset_semantics(self):
+        assert not records_equal([{"a": 1}, {"a": 1}], [{"a": 1}])
+
+    def test_float_int_equivalence(self):
+        assert records_equal([{"a": 1.0}], [{"a": 1}])
+
+    def test_near_floats_are_rounded(self):
+        assert records_equal([{"a": 0.1 + 0.2}], [{"a": 0.3}])
+
+    def test_detects_differences(self):
+        assert not records_equal([{"a": 1}], [{"a": 2}])
+
+    def test_extra_field_breaks_equality(self):
+        assert not records_equal([{"a": 1}], [{"a": 1, "b": 2}])
+
+
+record_strategy = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.one_of(st.integers(-1000, 1000), st.text(max_size=5)),
+    max_size=3,
+)
+
+
+class TestRecordProperties:
+    @given(st.lists(record_strategy, max_size=20))
+    def test_records_equal_reflexive(self, records):
+        assert records_equal(records, list(records))
+
+    @given(st.lists(record_strategy, max_size=20))
+    def test_records_equal_permutation_invariant(self, records):
+        assert records_equal(records, list(reversed(records)))
+
+    @given(record_strategy, st.lists(st.sampled_from(["a", "b", "c"]), max_size=3))
+    def test_projection_is_subset(self, record, fields):
+        projected = project(record, fields)
+        assert set(projected).issubset(set(record))
+        for key, value in projected.items():
+            assert record[key] == value
+
+    @given(st.lists(record_strategy, min_size=1, max_size=10))
+    def test_sort_key_total_order(self, records):
+        keys = [sort_key_for(r, ["a", "b"]) for r in records]
+        assert sorted(keys) == sorted(keys, key=lambda k: k)

@@ -1,0 +1,123 @@
+"""Tests for the profiler and Recursive Random Search."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.core.rrs import RecursiveRandomSearch
+from repro.mapreduce.config import ConfigDimension, ConfigurationSpace
+from repro.profiler import Profiler
+from repro.workloads import build_workload
+
+
+class TestProfiler:
+    @pytest.fixture(scope="class")
+    def ir_workload(self):
+        return build_workload("IR", scale=0.15)
+
+    def test_profiles_every_job(self, ir_workload):
+        result = Profiler().profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        assert set(result.job_profiles) == {"IR_J1", "IR_J2", "IR_J3"}
+        assert "corpus" in result.dataset_annotations
+
+    def test_attach_sets_annotations(self, ir_workload):
+        workflow = ir_workload.workflow.copy()
+        Profiler().profile_workflow(workflow, ir_workload.base_datasets, attach=True)
+        assert all(vertex.annotations.has_profile for vertex in workflow.jobs)
+        assert workflow.dataset("corpus").annotation is not None
+
+    def test_operator_profiles_and_selectivities(self, ir_workload):
+        result = Profiler().profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        j1 = result.job_profiles["IR_J1"]
+        assert "IR_J1.map" in j1.operator_profiles
+        assert "IR_J1.reduce" in j1.operator_profiles
+        # The TF job's reduce aggregates (doc, word) groups: selectivity < 1.
+        assert j1.operator_profiles["IR_J1.reduce"].selectivity < 1.0
+        assert j1.cardinality(("doc", "word")) > 0
+
+    def test_dataset_annotation_contents(self, ir_workload):
+        annotation = Profiler().annotate_dataset(ir_workload.base_datasets["corpus"])
+        assert annotation.partition_kind == "hash"
+        assert annotation.partition_fields == ("doc",)
+        assert annotation.size_bytes > 0
+        assert "doc" in (annotation.schema or ())
+
+    def test_noise_changes_statistics(self, ir_workload):
+        clean = Profiler(noise=0.0).profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        noisy = Profiler(noise=0.3, seed=5).profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        assert (
+            noisy.job_profiles["IR_J1"].operator_profiles["IR_J1.map"].selectivity
+            != clean.job_profiles["IR_J1"].operator_profiles["IR_J1.map"].selectivity
+        )
+
+    def test_sampling_reduces_profiled_records(self, ir_workload):
+        full = Profiler(sample_fraction=1.0).profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        sampled = Profiler(sample_fraction=0.3).profile_workflow(
+            ir_workload.workflow.copy(), ir_workload.base_datasets, attach=False
+        )
+        assert sampled.profiled_records < full.profiled_records
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Profiler(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            Profiler(noise=-0.1)
+
+
+class TestRecursiveRandomSearch:
+    def _space(self):
+        return ConfigurationSpace(
+            dimensions=[
+                ConfigDimension("x", "int", 0, 100),
+                ConfigDimension("y", "int", 0, 100),
+                ConfigDimension("flag", "bool"),
+            ]
+        )
+
+    def test_finds_near_optimal_point(self):
+        def objective(point):
+            penalty = 0.0 if point.get("flag") else 25.0
+            return (point["x"] - 70) ** 2 + (point["y"] - 30) ** 2 + penalty
+
+        rrs = RecursiveRandomSearch(seed=3)
+        result = rrs.search(self._space(), objective)
+        assert result.best_value <= 400
+        assert result.evaluations == len(result.trajectory)
+
+    def test_never_worse_than_initial_point(self):
+        def objective(point):
+            return abs(point["x"] - 10) + abs(point["y"] - 10)
+
+        initial = {"x": 10, "y": 10, "flag": False}
+        result = RecursiveRandomSearch(seed=1).search(self._space(), objective, initial_point=initial)
+        assert result.best_value <= objective(initial)
+
+    def test_deterministic_given_rng(self):
+        def objective(point):
+            return point["x"] + point["y"]
+
+        space = self._space()
+        a = RecursiveRandomSearch(seed=9).search(space, objective, rng=DeterministicRNG(4))
+        b = RecursiveRandomSearch(seed=9).search(space, objective, rng=DeterministicRNG(4))
+        assert a.best_point == b.best_point
+        assert a.best_value == b.best_value
+
+    def test_empty_space(self):
+        result = RecursiveRandomSearch().search(ConfigurationSpace(dimensions=[]), lambda p: 42.0)
+        assert result.best_value == 42.0
+        assert result.best_point == {}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RecursiveRandomSearch(exploration_samples=0)
+        with pytest.raises(ValueError):
+            RecursiveRandomSearch(shrink_factor=1.5)

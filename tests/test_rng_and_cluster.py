@@ -1,0 +1,98 @@
+"""Tests for the deterministic RNG and the cluster specification."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.common.rng import DeterministicRNG
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(3)
+        b = DeterministicRNG(3)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.randint(0, 10_000) for _ in range(10)] != [b.randint(0, 10_000) for _ in range(10)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRNG(5).fork("child")
+        b = DeterministicRNG(5).fork("child")
+        assert a.random() == b.random()
+
+    def test_fork_is_independent_of_parent_consumption(self):
+        parent1 = DeterministicRNG(5)
+        parent1.random()
+        parent2 = DeterministicRNG(5)
+        assert parent1.fork("x").random() == parent2.fork("x").random()
+
+    def test_zipf_in_domain(self):
+        rng = DeterministicRNG(7)
+        samples = [rng.zipf(20) for _ in range(200)]
+        assert all(1 <= s <= 20 for s in samples)
+
+    def test_zipf_skew(self):
+        rng = DeterministicRNG(7)
+        samples = [rng.zipf(50, alpha=1.5) for _ in range(500)]
+        ones = sum(1 for s in samples if s == 1)
+        assert ones > len(samples) * 0.2
+
+    def test_zipf_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).zipf(0)
+
+    def test_sample_and_choice(self):
+        rng = DeterministicRNG(11)
+        items = list(range(20))
+        sampled = rng.sample(items, 5)
+        assert len(set(sampled)) == 5
+        assert rng.choice(items) in items
+
+
+class TestNodeSpec:
+    def test_default_is_valid(self):
+        NodeSpec().validate()
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            NodeSpec(map_slots=0).validate()
+
+    def test_rejects_bad_disk(self):
+        with pytest.raises(ValueError):
+            NodeSpec(disk_read_mb_per_s=0).validate()
+
+
+class TestClusterSpec:
+    def test_paper_cluster_slot_counts(self):
+        cluster = ClusterSpec.paper_cluster()
+        assert cluster.num_nodes == 51
+        assert cluster.total_map_slots == 51 * 3
+        assert cluster.total_reduce_slots == 51 * 2
+
+    def test_map_waves(self):
+        cluster = ClusterSpec.paper_cluster()
+        assert cluster.map_waves(0) == 0
+        assert cluster.map_waves(1) == 1
+        assert cluster.map_waves(cluster.total_map_slots) == 1
+        assert cluster.map_waves(cluster.total_map_slots + 1) == 2
+
+    def test_reduce_waves(self):
+        cluster = ClusterSpec.paper_cluster()
+        assert cluster.reduce_waves(cluster.total_reduce_slots * 3) == 3
+
+    def test_scaled_changes_node_count_only(self):
+        cluster = ClusterSpec.paper_cluster().scaled(10)
+        assert cluster.num_nodes == 10
+        assert cluster.node == ClusterSpec.paper_cluster().node
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(network_mb_per_s=0)
+
+    def test_total_memory(self):
+        cluster = ClusterSpec.small_test_cluster()
+        assert cluster.total_memory_mb == cluster.num_nodes * cluster.node.memory_mb

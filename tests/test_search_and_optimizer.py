@@ -1,0 +1,175 @@
+"""Tests for optimization units, the search strategy, and the Stubby optimizer."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.common.records import records_equal
+from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
+from repro.core.optimizer import StubbyOptimizer
+from repro.core.plan import Plan
+from repro.core.search import StubbySearch
+from repro.core.transformations import (
+    HorizontalPacking,
+    InterJobVerticalPacking,
+    IntraJobVerticalPacking,
+    PartitionFunctionTransformation,
+)
+from repro.profiler import Profiler
+from repro.whatif import ActualCostModel
+from repro.workflow.executor import WorkflowExecutor
+from repro.workloads import build_workload
+
+CLUSTER = ClusterSpec.paper_cluster()
+
+
+def _profiled(abbr, scale=0.15):
+    workload = build_workload(abbr, scale=scale)
+    Profiler().profile_workflow(workload.workflow, workload.base_datasets)
+    return workload
+
+
+class TestOptimizationUnits:
+    def test_units_cover_graph_in_order(self):
+        workload = _profiled("BR")
+        generator = OptimizationUnitGenerator()
+        units = list(generator.iterate(workload.plan))
+        assert units[0].producers == ("BR_J1",)
+        assert set(units[0].consumers) == {"BR_J2", "BR_J3"}
+        assert set(units[1].producers) == {"BR_J2", "BR_J3"}
+        # Every job eventually serves as a producer.
+        produced = {name for unit in units for name in unit.producers}
+        assert produced == set(workload.workflow.job_names)
+
+    def test_unit_jobs_deduplicated(self):
+        unit = OptimizationUnit(producers=("A", "B"), consumers=("B", "C"))
+        assert unit.jobs == ("A", "B", "C")
+
+    def test_next_unit_none_when_done(self):
+        workload = _profiled("IR")
+        generator = OptimizationUnitGenerator()
+        plan = workload.plan
+        while True:
+            unit = generator.next_unit(plan)
+            if unit is None:
+                break
+            generator.mark_handled(plan, unit)
+        assert generator.next_unit(plan) is None
+
+
+class TestStubbySearch:
+    def _search(self):
+        return StubbySearch(
+            cluster=CLUSTER,
+            vertical_transformations=[
+                IntraJobVerticalPacking(),
+                InterJobVerticalPacking(),
+                PartitionFunctionTransformation(),
+            ],
+            horizontal_transformations=[HorizontalPacking(), PartitionFunctionTransformation()],
+        )
+
+    def test_enumeration_includes_untransformed_plan(self):
+        workload = _profiled("IR")
+        plan = workload.plan
+        search = self._search()
+        unit = OptimizationUnitGenerator().next_unit(plan)
+        subplans = search.enumerate_subplans(plan, unit, search.vertical_transformations)
+        assert subplans[0].transformations == ()
+        assert len(subplans) >= 3
+
+    def test_enumeration_deduplicates_by_signature(self):
+        workload = _profiled("IR")
+        plan = workload.plan
+        search = self._search()
+        unit = OptimizationUnitGenerator().next_unit(plan)
+        subplans = search.enumerate_subplans(plan, unit, search.vertical_transformations)
+        signatures = [record.plan.signature() for record in subplans]
+        assert len(signatures) == len(set(signatures))
+
+    def test_optimize_unit_picks_lowest_estimated_cost(self):
+        workload = _profiled("IR")
+        plan = workload.plan
+        search = self._search()
+        unit = OptimizationUnitGenerator().next_unit(plan)
+        _, report = search.optimize_unit(plan, unit, search.vertical_transformations)
+        costs = [record.estimated_cost for record in report.subplans]
+        assert report.chosen_index == costs.index(min(costs))
+
+    def test_chosen_configurations_are_applied(self):
+        workload = _profiled("IR")
+        plan = workload.plan
+        search = self._search()
+        unit = OptimizationUnitGenerator().next_unit(plan)
+        optimized, report = search.optimize_unit(plan, unit, search.vertical_transformations)
+        chosen = report.chosen
+        for job_name, settings in chosen.best_settings.items():
+            if not optimized.workflow.has_job(job_name):
+                continue
+            config = optimized.job(job_name).job.config
+            if "num_reduce_tasks" in settings and not config.is_map_only and not config.forced_single_reduce:
+                assert config.num_reduce_tasks == settings["num_reduce_tasks"]
+
+
+class TestStubbyOptimizer:
+    def test_variant_names(self):
+        assert StubbyOptimizer(CLUSTER).variant_name == "Stubby"
+        assert StubbyOptimizer.vertical_only(CLUSTER).variant_name == "Vertical"
+        assert StubbyOptimizer.horizontal_only(CLUSTER).variant_name == "Horizontal"
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            StubbyOptimizer(CLUSTER, phases=("diagonal",))
+
+    def test_optimizes_ir_and_reduces_cost(self):
+        workload = _profiled("IR")
+        plan = workload.plan
+        initial_cost = StubbyOptimizer(CLUSTER).whatif.estimate_workflow(plan.workflow).total_s
+        result = StubbyOptimizer(CLUSTER).optimize(plan)
+        assert result.estimated_cost_s < initial_cost
+        assert result.num_jobs <= workload.num_jobs
+        assert "intra-job-vertical-packing" in result.transformations_applied
+
+    def test_optimized_plan_is_equivalent(self):
+        workload = _profiled("IR")
+        result = StubbyOptimizer(CLUSTER).optimize(workload.plan)
+        executor = WorkflowExecutor()
+        _, original_fs = executor.execute(workload.workflow.copy(), base_datasets=workload.base_datasets)
+        _, optimized_fs = executor.execute(result.plan.workflow, base_datasets=workload.base_datasets)
+        assert records_equal(
+            original_fs.get("ir_tfidf").all_records(),
+            optimized_fs.get("ir_tfidf").all_records(),
+        )
+
+    def test_without_annotations_stubby_is_safe(self):
+        """With zero annotations Stubby still returns a correct (unchanged) plan."""
+        workload = build_workload("IR", scale=0.15)
+        for vertex in workload.workflow.jobs:
+            vertex.annotations.schema = None
+            vertex.annotations.profile = None
+        result = StubbyOptimizer(CLUSTER).optimize(workload.plan)
+        assert result.num_jobs == workload.num_jobs
+        assert "intra-job-vertical-packing" not in result.transformations_applied
+
+    def test_vertical_variant_does_not_horizontally_pack(self):
+        workload = _profiled("PJ")
+        result = StubbyOptimizer.vertical_only(CLUSTER).optimize(workload.plan)
+        assert "horizontal-packing" not in result.transformations_applied
+
+    def test_accepts_raw_workflow(self):
+        workload = _profiled("IR")
+        result = StubbyOptimizer(CLUSTER).optimize(workload.workflow)
+        assert isinstance(result.plan, Plan)
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(TypeError):
+            StubbyOptimizer(CLUSTER).optimize(42)
+
+    def test_stubby_beats_unoptimized_on_actual_cost(self):
+        workload = _profiled("US")
+        executor = WorkflowExecutor()
+        execution, fs = executor.execute(workload.workflow.copy(), base_datasets=workload.base_datasets)
+        unoptimized = ActualCostModel(CLUSTER).workflow_cost(workload.workflow, execution, fs).total_s
+        result = StubbyOptimizer(CLUSTER).optimize(workload.plan)
+        execution2, fs2 = executor.execute(result.plan.workflow, base_datasets=workload.base_datasets)
+        optimized = ActualCostModel(CLUSTER).workflow_cost(result.plan.workflow, execution2, fs2).total_s
+        assert optimized < unoptimized

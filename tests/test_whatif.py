@@ -1,0 +1,195 @@
+"""Tests for the What-if cost model, actual-cost model, and adjustments."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.mapreduce.config import JobConfig
+from repro.profiler import Profiler
+from repro.whatif import (
+    ActualCostModel,
+    JobDataflow,
+    WhatIfEngine,
+    adjust_profile_for_horizontal_packing,
+    adjust_profile_for_inter_job_packing,
+    adjust_profile_for_intra_job_packing,
+    estimate_job_time,
+)
+from repro.whatif.scheduling import level_makespan, workflow_makespan
+from repro.workflow.annotations import ProfileAnnotation
+from repro.workflow.executor import WorkflowExecutor
+from repro.workloads import build_workload
+
+CLUSTER = ClusterSpec.paper_cluster()
+GB = 1024.0 ** 3
+
+
+def _dataflow(**overrides):
+    base = dict(
+        input_bytes=10 * GB,
+        input_records=1e8,
+        map_output_records=1e8,
+        map_output_bytes=10 * GB,
+        shuffle_records=1e8,
+        shuffle_bytes=10 * GB,
+        reduce_input_records=1e8,
+        output_records=1e7,
+        output_bytes=1 * GB,
+        map_cpu_cost_per_record=2.0,
+        reduce_cpu_cost_per_record=2.0,
+    )
+    base.update(overrides)
+    return JobDataflow(**base)
+
+
+class TestJobModel:
+    def test_more_input_takes_longer(self):
+        small = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=50), CLUSTER)
+        big = estimate_job_time(
+            _dataflow(input_bytes=100 * GB, input_records=1e9), JobConfig(num_reduce_tasks=50), CLUSTER
+        )
+        assert big.total_s > small.total_s
+
+    def test_more_reducers_speed_up_reduce_phase(self):
+        few = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=2), CLUSTER)
+        many = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=100), CLUSTER)
+        assert many.reduce_phase_s < few.reduce_phase_s
+
+    def test_parallelism_capped_by_distinct_partition_keys(self):
+        capped = estimate_job_time(
+            _dataflow(distinct_partition_keys=2.0), JobConfig(num_reduce_tasks=100), CLUSTER
+        )
+        uncapped = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=100), CLUSTER)
+        assert capped.reduce_phase_s > uncapped.reduce_phase_s
+
+    def test_map_only_has_no_shuffle_or_reduce(self):
+        estimate = estimate_job_time(_dataflow(map_only=True), JobConfig(num_reduce_tasks=0), CLUSTER)
+        assert estimate.shuffle_s == 0.0
+        assert estimate.reduce_phase_s == 0.0
+
+    def test_compression_reduces_shuffle_time(self):
+        plain = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=50), CLUSTER)
+        compressed = estimate_job_time(
+            _dataflow(), JobConfig(num_reduce_tasks=50, compress_map_output=True), CLUSTER
+        )
+        assert compressed.shuffle_s < plain.shuffle_s
+
+    def test_chained_map_tasks_override_split_derivation(self):
+        estimate = estimate_job_time(
+            _dataflow(chained_map_tasks=17), JobConfig(num_reduce_tasks=10), CLUSTER
+        )
+        assert estimate.num_map_tasks == 17
+
+    def test_pipeline_contention_costs_more(self):
+        single = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=50), CLUSTER)
+        packed = estimate_job_time(_dataflow(pipeline_count=3), JobConfig(num_reduce_tasks=50), CLUSTER)
+        assert packed.total_s > single.total_s
+
+    def test_dataflow_validation(self):
+        with pytest.raises(ValueError):
+            _dataflow(input_bytes=-1)
+        with pytest.raises(ValueError):
+            _dataflow(pipeline_count=0)
+
+    def test_dataflow_scaling(self):
+        doubled = _dataflow().scaled(2.0)
+        assert doubled.input_bytes == 2 * _dataflow().input_bytes
+
+
+class TestScheduling:
+    def test_single_job_level(self):
+        estimate = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=50), CLUSTER)
+        assert level_makespan([estimate], CLUSTER) == estimate.total_s
+
+    def test_two_small_jobs_run_concurrently(self):
+        small = _dataflow(input_bytes=0.5 * GB, input_records=1e6, map_output_bytes=0.1 * GB,
+                          map_output_records=1e5, shuffle_records=1e5, shuffle_bytes=0.1 * GB,
+                          reduce_input_records=1e5, output_records=1e4, output_bytes=0.01 * GB)
+        estimate = estimate_job_time(small, JobConfig(num_reduce_tasks=4), CLUSTER)
+        level = level_makespan([estimate, estimate], CLUSTER)
+        assert level < 2 * estimate.total_s * 0.95
+
+    def test_workflow_makespan_sums_levels(self):
+        estimate = estimate_job_time(_dataflow(), JobConfig(num_reduce_tasks=50), CLUSTER)
+        total = workflow_makespan([[estimate], [estimate]], CLUSTER)
+        assert total == pytest.approx(2 * estimate.total_s)
+
+
+class TestWhatIfEngine:
+    @pytest.fixture(scope="class")
+    def profiled_ir(self):
+        workload = build_workload("IR", scale=0.15)
+        Profiler().profile_workflow(workload.workflow, workload.base_datasets)
+        return workload
+
+    def test_estimate_produces_per_job_costs(self, profiled_ir):
+        estimate = WhatIfEngine(CLUSTER).estimate_workflow(profiled_ir.workflow)
+        assert estimate.cost_basis == "whatif"
+        assert set(estimate.per_job) == {"IR_J1", "IR_J2", "IR_J3"}
+        assert estimate.total_s > 0
+
+    def test_estimate_matches_actual_for_profiled_plan(self, profiled_ir):
+        """With full (noise-free) profiles the estimate equals the measured cost."""
+        executor = WorkflowExecutor()
+        execution, filesystem = executor.execute(
+            profiled_ir.workflow.copy(), base_datasets=profiled_ir.base_datasets
+        )
+        estimated = WhatIfEngine(CLUSTER).estimate_workflow(profiled_ir.workflow).total_s
+        actual = ActualCostModel(CLUSTER).workflow_cost(
+            profiled_ir.workflow, execution, filesystem
+        ).total_s
+        assert estimated == pytest.approx(actual, rel=0.15)
+
+    def test_fallback_to_job_count_without_profiles(self):
+        workload = build_workload("IR", scale=0.15)
+        estimate = WhatIfEngine(CLUSTER).estimate_workflow(workload.workflow)
+        assert estimate.cost_basis == "job_count"
+        assert estimate.total_s == pytest.approx(1000.0 * workload.num_jobs)
+
+    def test_fewer_reduce_tasks_estimated_slower(self, profiled_ir):
+        from repro.core.plan import Plan
+
+        plan = Plan(profiled_ir.workflow.copy())
+        slow = plan.copy()
+        slow.set_job_config("IR_J1", slow.job("IR_J1").job.config.replace(num_reduce_tasks=1))
+        fast = plan.copy()
+        fast.set_job_config("IR_J1", fast.job("IR_J1").job.config.replace(num_reduce_tasks=90))
+        engine = WhatIfEngine(CLUSTER)
+        assert engine.estimate_workflow(fast.workflow).total_s < engine.estimate_workflow(slow.workflow).total_s
+
+
+class TestAdjustments:
+    def test_intra_adjustment_multiplies_selectivities(self):
+        producer = ProfileAnnotation(map_selectivity=1.0, reduce_selectivity=0.5)
+        consumer = ProfileAnnotation(
+            map_selectivity=0.4, reduce_selectivity=0.5,
+            map_cpu_cost_per_record=2.0, reduce_cpu_cost_per_record=10.0,
+        )
+        adjusted = adjust_profile_for_intra_job_packing(producer, consumer)
+        assert adjusted.map_selectivity == pytest.approx(0.2)
+        assert adjusted.reduce_selectivity == 1.0
+        assert adjusted.map_cpu_cost_per_record == pytest.approx(2.0 + 0.4 * 10.0)
+
+    def test_inter_adjustment_map_side(self):
+        surviving = ProfileAnnotation(map_selectivity=0.5, map_cpu_cost_per_record=1.0)
+        absorbed = ProfileAnnotation(map_selectivity=0.2, map_cpu_cost_per_record=4.0)
+        adjusted = adjust_profile_for_inter_job_packing(surviving, absorbed, absorbed_into_map_side=True)
+        assert adjusted.map_selectivity == pytest.approx(0.1)
+
+    def test_inter_adjustment_reduce_side(self):
+        surviving = ProfileAnnotation(reduce_selectivity=0.5, reduce_cpu_cost_per_record=2.0)
+        absorbed = ProfileAnnotation(map_selectivity=0.3, map_cpu_cost_per_record=1.0)
+        adjusted = adjust_profile_for_inter_job_packing(surviving, absorbed, absorbed_into_map_side=False)
+        assert adjusted.reduce_selectivity == pytest.approx(0.15)
+
+    def test_horizontal_adjustment_adds_selectivities_and_costs(self):
+        profiles = [
+            ProfileAnnotation(map_selectivity=0.5, map_cpu_cost_per_record=1.0),
+            ProfileAnnotation(map_selectivity=0.25, map_cpu_cost_per_record=3.0),
+        ]
+        adjusted = adjust_profile_for_horizontal_packing(profiles)
+        assert adjusted.map_selectivity == pytest.approx(0.75)
+        assert adjusted.map_cpu_cost_per_record == pytest.approx(4.0)
+
+    def test_horizontal_adjustment_requires_profiles(self):
+        with pytest.raises(ValueError):
+            adjust_profile_for_horizontal_packing([])

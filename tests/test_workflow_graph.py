@@ -1,0 +1,171 @@
+"""Tests for the workflow DAG model and subgraph classification."""
+
+import pytest
+
+from repro.common.errors import WorkflowValidationError
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import simple_job
+from repro.workflow.graph import Workflow
+from repro.workflow.subgraphs import (
+    SubgraphType,
+    classify_pair,
+    classify_subgraph,
+    concurrently_runnable_groups,
+    shared_input_groups,
+)
+
+
+def _identity(key, value):
+    yield {}, dict(value)
+
+
+def _job(name, inputs, output, reduce_key=None):
+    if isinstance(inputs, str):
+        inputs = (inputs,)
+    job = simple_job(
+        name,
+        inputs[0],
+        output,
+        _identity,
+        reduce_fn=(lambda key, values: iter([(key, values[0])])) if reduce_key else None,
+        group_fields=(reduce_key,) if reduce_key else (),
+        config=JobConfig(num_reduce_tasks=2 if reduce_key else 0),
+    )
+    if len(inputs) > 1:
+        job.pipelines[0].input_datasets = tuple(inputs)
+    return job
+
+
+def build_diamond() -> Workflow:
+    """D0 -> J1 -> D1 -> {J2, J3} -> D2/D3 -> J4 (reads both)."""
+    workflow = Workflow("diamond")
+    workflow.add_job(_job("J1", "D0", "D1", reduce_key="k"))
+    workflow.add_job(_job("J2", "D1", "D2", reduce_key="k"))
+    workflow.add_job(_job("J3", "D1", "D3", reduce_key="k"))
+    workflow.add_job(_job("J4", ("D2", "D3"), "D4", reduce_key="k"))
+    return workflow
+
+
+class TestWorkflowStructure:
+    def test_duplicate_job_rejected(self):
+        workflow = Workflow()
+        workflow.add_job(_job("J1", "D0", "D1"))
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_job(_job("J1", "D0", "D2"))
+
+    def test_producer_and_consumers(self):
+        workflow = build_diamond()
+        assert workflow.producer_of("D1").name == "J1"
+        assert workflow.producer_of("D0") is None
+        assert {c.name for c in workflow.consumers_of("D1")} == {"J2", "J3"}
+
+    def test_producer_and_consumer_jobs(self):
+        workflow = build_diamond()
+        assert {p.name for p in workflow.producer_jobs("J4")} == {"J2", "J3"}
+        assert {c.name for c in workflow.consumer_jobs("J1")} == {"J2", "J3"}
+
+    def test_base_and_terminal_datasets(self):
+        workflow = build_diamond()
+        assert [d.name for d in workflow.base_datasets()] == ["D0"]
+        assert [d.name for d in workflow.terminal_datasets()] == ["D4"]
+        assert {d.name for d in workflow.intermediate_datasets()} == {"D1", "D2", "D3"}
+
+    def test_topological_order(self):
+        workflow = build_diamond()
+        order = [v.name for v in workflow.topological_order()]
+        assert order.index("J1") < order.index("J2")
+        assert order.index("J2") < order.index("J4")
+        assert order.index("J3") < order.index("J4")
+
+    def test_topological_levels(self):
+        workflow = build_diamond()
+        levels = [[v.name for v in level] for level in workflow.topological_levels()]
+        assert levels == [["J1"], ["J2", "J3"], ["J4"]]
+
+    def test_depends_on(self):
+        workflow = build_diamond()
+        assert workflow.depends_on("J4", "J1")
+        assert not workflow.depends_on("J1", "J4")
+        assert not workflow.depends_on("J2", "J3")
+
+    def test_validate_detects_double_writer(self):
+        workflow = Workflow()
+        workflow.add_job(_job("J1", "D0", "D1"))
+        workflow.add_job(_job("J2", "D0", "D1"))
+        with pytest.raises(WorkflowValidationError):
+            workflow.validate()
+
+    def test_validate_detects_self_loop(self):
+        workflow = Workflow()
+        job = _job("J1", "D0", "D0")
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_job(job)
+            workflow.validate()
+
+    def test_copy_is_independent(self):
+        workflow = build_diamond()
+        clone = workflow.copy()
+        clone.remove_job("J4")
+        assert workflow.has_job("J4")
+        assert not clone.has_job("J4")
+
+    def test_replace_job_keeps_order(self):
+        workflow = build_diamond()
+        replacement = _job("J2b", "D1", "D2", reduce_key="k")
+        workflow.replace_job("J2", replacement)
+        assert workflow.has_job("J2b") and not workflow.has_job("J2")
+        order = [v.name for v in workflow.topological_order()]
+        assert order.index("J2b") < order.index("J4")
+
+    def test_prune_orphan_datasets(self):
+        workflow = build_diamond()
+        workflow.remove_job("J4")
+        orphans = workflow.prune_orphan_datasets()
+        assert "D4" in orphans
+
+    def test_remove_referenced_dataset_rejected(self):
+        workflow = build_diamond()
+        with pytest.raises(WorkflowValidationError):
+            workflow.remove_dataset("D1")
+
+
+class TestSubgraphClassification:
+    def test_none_to_one(self):
+        workflow = build_diamond()
+        edges = classify_subgraph(workflow, "D0")
+        assert edges[0].subgraph is SubgraphType.NONE_TO_ONE
+
+    def test_one_to_many(self):
+        workflow = build_diamond()
+        edges = classify_subgraph(workflow, "D1")
+        assert {e.subgraph for e in edges} == {SubgraphType.ONE_TO_MANY}
+        assert len(edges) == 2
+
+    def test_many_to_one(self):
+        workflow = build_diamond()
+        assert classify_pair(workflow, "J2", "J4") is SubgraphType.MANY_TO_ONE
+
+    def test_one_to_none(self):
+        workflow = build_diamond()
+        edges = classify_subgraph(workflow, "D4")
+        assert edges[0].subgraph is SubgraphType.ONE_TO_NONE
+
+    def test_one_to_one(self):
+        workflow = Workflow()
+        workflow.add_job(_job("A", "D0", "D1", reduce_key="k"))
+        workflow.add_job(_job("B", "D1", "D2", reduce_key="k"))
+        assert classify_pair(workflow, "A", "B") is SubgraphType.ONE_TO_ONE
+
+    def test_classify_pair_unrelated(self):
+        workflow = build_diamond()
+        assert classify_pair(workflow, "J2", "J3") is None
+
+    def test_shared_input_groups(self):
+        workflow = build_diamond()
+        groups = dict(shared_input_groups(workflow))
+        assert set(groups["D1"]) == {"J2", "J3"}
+
+    def test_concurrently_runnable_groups(self):
+        workflow = build_diamond()
+        groups = concurrently_runnable_groups(workflow)
+        assert ["J2", "J3"] in groups

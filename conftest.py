@@ -12,3 +12,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "equivalence: differential-execution equivalence sweeps (select with "
+        "`-m equivalence`; scale the random-workflow count with the "
+        "EQUIVALENCE_SEEDS environment variable)",
+    )

@@ -1,0 +1,33 @@
+"""Process-independent hashing.
+
+Python's built-in ``hash()`` is salted per process for strings
+(``PYTHONHASHSEED``), so anything derived from it — partition assignment,
+forked RNG streams — would differ between runs and make "reproduce this
+divergence from seed S" impossible.  Every component that needs a hash for
+*placement* or *seeding* (never for security) uses :func:`stable_hash`, a
+64-bit FNV-1a over the stringified material.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_FNV_OFFSET = 1469598103934665603
+_FNV_PRIME = 1099511628211
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(material: Iterable[object]) -> int:
+    """64-bit FNV-1a hash of an iterable of items, stable across processes.
+
+    Items are folded in via ``str()``, with a separator byte between items so
+    ``("ab", "c")`` and ``("a", "bc")`` hash differently.
+    """
+    acc = _FNV_OFFSET
+    for item in material:
+        for ch in str(item):
+            acc ^= ord(ch)
+            acc = (acc * _FNV_PRIME) & _MASK
+        acc ^= 0xFF
+        acc = (acc * _FNV_PRIME) & _MASK
+    return acc

@@ -10,6 +10,8 @@ from __future__ import annotations
 import random
 from typing import Sequence, TypeVar
 
+from repro.common.hashing import stable_hash
+
 T = TypeVar("T")
 
 
@@ -37,9 +39,12 @@ class DeterministicRNG:
 
         Forking keeps sub-components insulated from each other: adding a
         random draw in one component does not shift the stream seen by
-        another.
+        another.  The child seed is derived with a process-independent hash
+        (built-in ``hash()`` is salted per process for strings), so forked
+        streams are reproducible across runs — a requirement for replaying a
+        differential-verification divergence from its seed.
         """
-        return DeterministicRNG(hash((self._seed, label)) & 0x7FFFFFFF)
+        return DeterministicRNG(stable_hash((self._seed, label)) & 0x7FFFFFFF)
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in ``[low, high]``."""

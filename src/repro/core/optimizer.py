@@ -66,9 +66,9 @@ class StubbyOptimizer:
         optimize_configurations: bool = True,
         seed: int = 17,
     ) -> None:
-        for phase in phases:
-            if phase not in ("vertical", "horizontal"):
-                raise ValueError(f"unknown phase {phase!r}")
+        # Phases are validated lazily, when optimize() actually uses them, so
+        # an optimizer can be constructed from not-yet-complete configuration
+        # (and so per-call phase overrides go through the same validation).
         self.cluster = cluster
         self.phases = tuple(phases)
         self.whatif = WhatIfEngine(cluster)
@@ -91,31 +91,55 @@ class StubbyOptimizer:
         )
 
     # ------------------------------------------------------------------ API
-    def optimize(self, plan_or_workflow) -> OptimizationResult:
-        """Optimize a plan (or raw workflow) and return the optimized result."""
+    def optimize(
+        self,
+        plan_or_workflow,
+        phases: Optional[Sequence[str]] = None,
+    ) -> OptimizationResult:
+        """Optimize a plan (or raw workflow) and return the optimized result.
+
+        ``phases`` overrides the phases configured at construction for this
+        one call (e.g. to run only the vertical pass on a Stubby optimizer).
+        Phase names are validated here — lazily — so both the constructor
+        configuration and per-call overrides fail with the same error.
+        """
         plan = self._as_plan(plan_or_workflow)
+        selected = self._validated_phases(self.phases if phases is None else tuple(phases))
         started = time.perf_counter()
-        optimized, reports = self.search.run(plan, phases=self.phases)
+        optimized, reports = self.search.run(plan, phases=selected)
         elapsed = time.perf_counter() - started
         estimate = self.whatif.estimate_workflow(optimized.workflow)
         return OptimizationResult(
             plan=optimized,
             estimated_cost_s=estimate.total_s,
             optimization_time_s=elapsed,
-            optimizer=self.variant_name,
+            # Label the result by the phases that actually ran, so divergence
+            # reports from phase-restricted calls name the right variant.
+            optimizer=self._variant_for(selected),
             unit_reports=reports,
         )
 
     @property
     def variant_name(self) -> str:
         """Stubby / Vertical / Horizontal, depending on the enabled phases."""
-        if self.phases == ("vertical",):
+        return self._variant_for(self.phases)
+
+    @classmethod
+    def _variant_for(cls, phases: Sequence[str]) -> str:
+        if tuple(phases) == ("vertical",):
             return "Vertical"
-        if self.phases == ("horizontal",):
+        if tuple(phases) == ("horizontal",):
             return "Horizontal"
-        return self.name
+        return cls.name
 
     # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _validated_phases(phases: Sequence[str]) -> tuple:
+        for phase in phases:
+            if phase not in ("vertical", "horizontal"):
+                raise ValueError(f"unknown phase {phase!r}")
+        return tuple(phases)
+
     @staticmethod
     def _as_plan(plan_or_workflow) -> Plan:
         if isinstance(plan_or_workflow, Plan):

@@ -56,6 +56,14 @@ class UnitReport:
     phase: str
     subplans: List[SubplanRecord] = field(default_factory=list)
     chosen_index: int = -1
+    #: The full plan before and after this unit was optimized.  The
+    #: differential-verification harness replays ``plan_after`` to bisect an
+    #: output divergence down to the single unit — and therefore the single
+    #: set of transformation applications — that introduced it.
+    #: ``plan_before`` is a *reference* (the search never mutates a plan in
+    #: place, so no copy is needed); ``plan_after`` is an isolated copy.
+    plan_before: Optional[Plan] = None
+    plan_after: Optional[Plan] = None
 
     @property
     def chosen(self) -> Optional[SubplanRecord]:
@@ -63,6 +71,12 @@ class UnitReport:
         if 0 <= self.chosen_index < len(self.subplans):
             return self.subplans[self.chosen_index]
         return None
+
+    @property
+    def chosen_transformations(self) -> Tuple[str, ...]:
+        """Names of the structural transformations applied in this unit."""
+        chosen = self.chosen
+        return chosen.transformations if chosen is not None else ()
 
 
 class StubbySearch:
@@ -128,7 +142,7 @@ class StubbySearch:
         phase: str = "vertical",
     ) -> Tuple[Plan, UnitReport]:
         """Enumerate, cost, and pick the best subplan for one unit."""
-        report = UnitReport(unit=unit, phase=phase)
+        report = UnitReport(unit=unit, phase=phase, plan_before=plan)
         candidates = self.enumerate_subplans(plan, unit, transformations)
 
         best_index = -1
@@ -145,6 +159,7 @@ class StubbySearch:
 
         report.chosen_index = best_index
         if best_index < 0:
+            report.plan_after = plan
             return plan, report
 
         chosen = report.subplans[best_index]
@@ -155,6 +170,7 @@ class StubbySearch:
                 optimized.record(
                     ConfigurationTransformation.application_for(job_name, settings).as_applied()
                 )
+        report.plan_after = optimized.copy()
         return optimized, report
 
     # ----------------------------------------------------------- enumeration

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.common.hashing import stable_hash
 from repro.common.records import Record, record_size_bytes, sort_key_for
 from repro.dfs.layout import DataLayout, PartitionScheme
 
@@ -77,8 +78,10 @@ class Dataset:
             num_partitions = max(1, min(16, len(materialized) // 64 + 1))
             buckets = {i: [] for i in range(num_partitions)}
             for record in materialized:
+                # Process-independent bucketing so a dataset loaded from the
+                # same records always lands in the same partitions run to run.
                 key = tuple(record.get(f) for f in scheme.fields)
-                buckets[hash(key) % num_partitions].append(record)
+                buckets[stable_hash(key) % num_partitions].append(record)
             self._partitions = [
                 DatasetPartition(index=i, records=bucket) for i, bucket in sorted(buckets.items())
             ]

@@ -51,6 +51,11 @@ class JobExecutionResult:
     counters: ExecutionCounters
     output_datasets: Tuple[str, ...]
     per_output_records: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the records written per output dataset, filled only when
+    #: the engine was built with ``collect_outputs=True``.  The snapshot is
+    #: taken from the written dataset in stored (partition, offset) order, so
+    #: it is deterministic for a given input filesystem state.
+    output_records: Dict[str, List[Record]] = field(default_factory=dict)
 
     def output(self, filesystem: InMemoryFileSystem, name: Optional[str] = None) -> Dataset:
         """Convenience accessor for one of the job's output datasets."""
@@ -65,13 +70,19 @@ _ShuffleEntry = Tuple[str, tuple, Record, Record]
 class LocalEngine:
     """Executes MapReduce jobs over in-memory datasets."""
 
-    def __init__(self, target_records_per_split: int = 2_000, max_exec_reduce_tasks: int = 4) -> None:
+    def __init__(
+        self,
+        target_records_per_split: int = 2_000,
+        max_exec_reduce_tasks: int = 4,
+        collect_outputs: bool = False,
+    ) -> None:
         if target_records_per_split <= 0:
             raise ValueError("target_records_per_split must be positive")
         if max_exec_reduce_tasks <= 0:
             raise ValueError("max_exec_reduce_tasks must be positive")
         self.target_records_per_split = target_records_per_split
         self.max_exec_reduce_tasks = max_exec_reduce_tasks
+        self.collect_outputs = collect_outputs
 
     # ------------------------------------------------------------------ API
     def execute_job(self, job: MapReduceJob, filesystem: InMemoryFileSystem) -> JobExecutionResult:
@@ -98,11 +109,15 @@ class LocalEngine:
 
         written = self._write_outputs(job, filesystem, map_only_outputs, reduce_outputs, counters, input_scale)
         per_output = {name: filesystem.get(name).num_records for name in written}
+        output_records: Dict[str, List[Record]] = {}
+        if self.collect_outputs:
+            output_records = {name: filesystem.get(name).all_records() for name in written}
         return JobExecutionResult(
             job_name=job.name,
             counters=counters,
             output_datasets=tuple(written),
             per_output_records=per_output,
+            output_records=output_records,
         )
 
     # ------------------------------------------------------------ map phase

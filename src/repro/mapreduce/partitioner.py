@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
+from repro.common.hashing import stable_hash
 from repro.common.records import Record, sort_key_for
 
 
@@ -128,12 +129,6 @@ def _numeric(value: object) -> float:
         return float(_stable_hash((str(value),)) % 10_000_000)
 
 
-def _stable_hash(material: tuple) -> int:
-    acc = 1469598103934665603
-    for item in material:
-        for ch in str(item):
-            acc ^= ord(ch)
-            acc = (acc * 1099511628211) & 0xFFFFFFFFFFFFFFFF
-        acc ^= 0xFF
-        acc = (acc * 1099511628211) & 0xFFFFFFFFFFFFFFFF
-    return acc
+#: Backwards-compatible alias; the implementation lives in common.hashing so
+#: the DFS layer can use the same function without importing mapreduce.
+_stable_hash = stable_hash

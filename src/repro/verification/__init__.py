@@ -1,0 +1,34 @@
+"""Differential-execution verification of Stubby's transformations.
+
+Three layers (see ``docs/verification.md``):
+
+* :mod:`repro.verification.generator` — seeded random workflow generation
+  from the workload building blocks;
+* :mod:`repro.verification.differential` — execute original vs. optimized
+  plans and diff canonicalized outputs, with job-level diagnostics and
+  per-transformation bisection;
+* ``tests/test_differential_equivalence.py`` — the ``-m equivalence`` battery
+  sweeping the optimizer variants over random and canned workflows.
+"""
+
+from repro.verification.differential import (
+    CulpritReport,
+    DatasetDivergence,
+    DifferentialExecutor,
+    DifferentialReport,
+)
+from repro.verification.generator import (
+    GeneratedWorkflow,
+    GeneratorConfig,
+    RandomWorkflowGenerator,
+)
+
+__all__ = [
+    "CulpritReport",
+    "DatasetDivergence",
+    "DifferentialExecutor",
+    "DifferentialReport",
+    "GeneratedWorkflow",
+    "GeneratorConfig",
+    "RandomWorkflowGenerator",
+]

@@ -1,0 +1,374 @@
+"""Randomized workflow generation for differential verification.
+
+The generator composes arbitrary DAGs from the same building blocks the
+evaluation workloads use — the map/reduce function factories of
+:mod:`repro.workloads.common` and the annotations of
+:mod:`repro.workflow.annotations` — under a seeded
+:class:`~repro.common.rng.DeterministicRNG`.  The same seed always yields the
+same workflow *and* the same base datasets, so any divergence the
+differential harness finds is reproducible from its seed alone.
+
+Every generated job is drawn from a catalog of *order-insensitive* shapes
+(sums, min/max/avg/count, distinct counts, sorted concatenation, identity
+re-shuffles, projections, filters): MapReduce transformations preserve the
+multiset of results but not intra-group value order, so reducers whose output
+depends on value arrival order would flag false divergences.
+
+Knobs (see :class:`GeneratorConfig`):
+
+* ``min_jobs``/``max_jobs`` and ``max_depth`` control DAG size and depth;
+* ``max_fanout`` and ``share_probability`` control how often several jobs
+  read the same dataset (horizontal-packing opportunities);
+* ``depth_bias`` controls how often a job consumes the newest dataset
+  (vertical-packing chains);
+* ``annotation_density`` controls the fraction of jobs keeping their schema
+  annotations (absent annotations must disable transformations, never break
+  correctness);
+* ``profile`` runs the profiler so the What-if engine sees real statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.rng import DeterministicRNG
+from repro.core.plan import Plan
+from repro.dfs.dataset import Dataset
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.job import MapReduceJob, simple_job
+from repro.profiler.profiler import Profiler
+from repro.workflow.annotations import FilterAnnotation, JobAnnotations, SchemaAnnotation
+from repro.workflow.graph import Workflow
+from repro.workloads import common
+
+#: Fields every generated base-dataset record carries.
+BASE_FIELDS: Tuple[str, ...] = ("k", "g", "x", "y", "n")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the random workflow generator."""
+
+    min_jobs: int = 2
+    max_jobs: int = 6
+    #: Maximum chain length from a base dataset to any job's input.
+    max_depth: int = 4
+    #: Maximum number of consumer jobs per dataset.
+    max_fanout: int = 3
+    #: Probability that a job re-reads an already-consumed dataset
+    #: (creating scan-sharing / horizontal-packing opportunities).
+    share_probability: float = 0.35
+    #: Probability that a chain-extending job consumes the newest dataset.
+    depth_bias: float = 0.6
+    #: Probability that any one job keeps its schema annotation.
+    annotation_density: float = 1.0
+    #: Probability that a reduce job carries a compatible combiner.
+    combiner_probability: float = 0.5
+    #: Probability that a map-side filter (plus filter annotation) is added.
+    filter_probability: float = 0.3
+    #: Number of base datasets to generate (inclusive bounds).
+    min_base_datasets: int = 1
+    max_base_datasets: int = 2
+    #: Records per generated base dataset.
+    records_per_dataset: int = 220
+    #: Distinct values of the primary group key ``k``.
+    num_groups: int = 12
+    #: Whether to run the profiler (attaches profile + dataset annotations).
+    profile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_jobs < 1 or self.max_jobs < self.min_jobs:
+            raise ValueError("need 1 <= min_jobs <= max_jobs")
+        if self.min_base_datasets < 1 or self.max_base_datasets < self.min_base_datasets:
+            raise ValueError("need 1 <= min_base_datasets <= max_base_datasets")
+        if self.max_depth < 1 or self.max_fanout < 1:
+            raise ValueError("max_depth and max_fanout must be positive")
+
+
+@dataclass
+class GeneratedWorkflow:
+    """A generated workflow, its inputs, and the seed that reproduces it."""
+
+    seed: int
+    workflow: Workflow
+    base_datasets: Dict[str, Dataset]
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    @property
+    def plan(self) -> Plan:
+        """A fresh plan over a copy of the workflow, ready for optimization."""
+        return Plan(self.workflow.copy())
+
+
+# One catalog entry builds a job reading ``input_name`` and writing
+# ``output_name`` with the given rng, and returns (job, annotations).
+_JobBuilder = Callable[[str, str, str, DeterministicRNG, GeneratorConfig], Tuple[MapReduceJob, JobAnnotations]]
+
+
+class RandomWorkflowGenerator:
+    """Seeded generator of random-but-valid annotated MapReduce workflows."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+        self._catalog: List[Tuple[str, _JobBuilder]] = [
+            ("project", self._build_project),
+            ("filter", self._build_filter),
+            ("sum", self._build_sum),
+            ("aggregate", self._build_aggregate),
+            ("distinct", self._build_distinct),
+            ("collect", self._build_collect),
+            ("reshuffle", self._build_reshuffle),
+        ]
+
+    # ------------------------------------------------------------------ API
+    def generate(self, seed: int) -> GeneratedWorkflow:
+        """Generate the workflow for ``seed`` (same seed, same workflow)."""
+        config = self.config
+        rng = DeterministicRNG(seed)
+        data_rng = rng.fork("data")
+        structure_rng = rng.fork("structure")
+
+        workflow = Workflow(name=f"rand-{seed}")
+        base_datasets: Dict[str, Dataset] = {}
+        num_base = structure_rng.randint(config.min_base_datasets, config.max_base_datasets)
+        for index in range(num_base):
+            name = f"rand{seed}_src{index}"
+            base_datasets[name] = self._make_dataset(name, data_rng.fork(name))
+
+        depth: Dict[str, int] = {name: 0 for name in base_datasets}
+        consumers: Dict[str, int] = {name: 0 for name in base_datasets}
+
+        num_jobs = structure_rng.randint(config.min_jobs, config.max_jobs)
+        for index in range(num_jobs):
+            input_name = self._pick_input(structure_rng, depth, consumers)
+            output_name = f"rand{seed}_d{index}"
+            kind, builder = structure_rng.choice(self._catalog)
+            job, annotations = builder(
+                f"R{seed}_J{index}", input_name, output_name, structure_rng.fork(f"job{index}"), config
+            )
+            if structure_rng.random() > config.annotation_density:
+                annotations = JobAnnotations(filter=annotations.filter)
+            workflow.add_job(job, annotations)
+            consumers[input_name] = consumers.get(input_name, 0) + 1
+            consumers.setdefault(output_name, 0)
+            depth[output_name] = depth.get(input_name, 0) + 1
+
+        profiler = Profiler()
+        for name, dataset in base_datasets.items():
+            workflow.add_dataset(name, dataset=dataset, annotation=profiler.annotate_dataset(dataset))
+        if config.profile:
+            profiler.profile_workflow(workflow, base_datasets)
+        workflow.validate()
+        return GeneratedWorkflow(
+            seed=seed, workflow=workflow, base_datasets=base_datasets, config=config
+        )
+
+    def with_config(self, **overrides) -> "RandomWorkflowGenerator":
+        """A generator whose config replaces the given fields."""
+        return RandomWorkflowGenerator(replace(self.config, **overrides))
+
+    # ----------------------------------------------------------- DAG shaping
+    def _pick_input(
+        self,
+        rng: DeterministicRNG,
+        depth: Dict[str, int],
+        consumers: Dict[str, int],
+    ) -> str:
+        """Pick the dataset the next job reads, honoring depth/fan-out caps."""
+        config = self.config
+        names = list(depth)
+        shallow = [n for n in names if depth[n] < config.max_depth]
+        candidates = shallow or names
+        consumed = [n for n in candidates if consumers.get(n, 0) > 0]
+        sharable = [n for n in consumed if consumers.get(n, 0) < config.max_fanout]
+        if sharable and rng.random() < config.share_probability:
+            return rng.choice(sharable)
+        fresh = [n for n in candidates if consumers.get(n, 0) == 0]
+        if fresh:
+            if rng.random() < config.depth_bias:
+                return fresh[-1]  # the newest unconsumed dataset -> deep chains
+            return rng.choice(fresh)
+        open_candidates = [n for n in candidates if consumers.get(n, 0) < config.max_fanout]
+        return rng.choice(open_candidates or candidates)
+
+    # ------------------------------------------------------------- datasets
+    def _make_dataset(self, name: str, rng: DeterministicRNG) -> Dataset:
+        records = []
+        for _ in range(self.config.records_per_dataset):
+            records.append(
+                {
+                    "k": f"k{rng.randint(0, self.config.num_groups - 1):02d}",
+                    "g": rng.randint(0, 9),
+                    "x": round(rng.uniform(0.0, 100.0), 6),
+                    "y": round(rng.gauss(50.0, 20.0), 6),
+                    "n": 1.0,
+                }
+            )
+        return Dataset(name, records=records)
+
+    # ------------------------------------------------------------ job shapes
+    # Every builder keeps field names flowing unchanged where the paper's
+    # conventions require it (identical names across K2/K3 signal data that
+    # flows through the reduce unchanged), which is what makes the packing
+    # transformations applicable to generated workflows.
+
+    @staticmethod
+    def _build_project(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        value_fields = ("g", "x", "y", "n")
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(("k",), value_fields=value_fields),
+            map_cpu_cost=1.0 + rng.random(),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=("k",), v2=value_fields, k3=("k",), v3=value_fields
+            )
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_filter(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        low = round(rng.uniform(0.0, 40.0), 3)
+        high = round(low + rng.uniform(20.0, 60.0), 3)
+        value_fields = ("g", "x", "y", "n")
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(
+                ("k",), value_fields=value_fields, filter_fn=common.range_filter("x", low, high)
+            ),
+            map_cpu_cost=1.0 + rng.random(),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=("k",), v2=value_fields, k3=("k",), v3=value_fields
+            ),
+            filter=FilterAnnotation.of(x=(low, high)),
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_sum(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        combiner = common.sum_combiner("x") if rng.random() < config.combiner_probability else None
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(("k",), value_fields=("x",), add_counter="n"),
+            reduce_fn=common.sum_reduce("x", "x"),
+            group_fields=("k",),
+            combiner=combiner,
+            reduce_cpu_cost=1.0 + rng.random(),
+            config=JobConfig(num_reduce_tasks=rng.randint(1, 8)),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=("k",), v2=("x", "n"), k3=("k",), v3=("x",)
+            )
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_aggregate(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        group = rng.choice((("k",), ("g",), ("k", "g")))
+        value_fields = ("x", "y")
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(group, value_fields=value_fields),
+            reduce_fn=common.aggregate_reduce(
+                {"x": ("avg", "x"), "y": ("max", "y"), "n": ("count", "x")}
+            ),
+            group_fields=group,
+            reduce_cpu_cost=1.0 + rng.random(),
+            config=JobConfig(num_reduce_tasks=rng.randint(1, 8)),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=group, v2=value_fields, k3=group, v3=("x", "y", "n")
+            )
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_distinct(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(("k",), value_fields=("g",)),
+            reduce_fn=common.distinct_count_reduce("g", "g"),
+            group_fields=("k",),
+            reduce_cpu_cost=1.0 + rng.random(),
+            config=JobConfig(num_reduce_tasks=rng.randint(1, 4)),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=("k",), v2=("g",), k3=("k",), v3=("g",)
+            )
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_collect(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(("g",), value_fields=("k",)),
+            reduce_fn=common.collect_reduce("k", "k"),
+            group_fields=("g",),
+            reduce_cpu_cost=1.0 + rng.random(),
+            config=JobConfig(num_reduce_tasks=rng.randint(1, 4)),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(), v1=BASE_FIELDS, k2=("g",), v2=("k",), k3=("g",), v3=("k",)
+            )
+        )
+        return job, annotations
+
+    @staticmethod
+    def _build_reshuffle(
+        name: str, input_name: str, output_name: str, rng: DeterministicRNG, config: GeneratorConfig
+    ) -> Tuple[MapReduceJob, JobAnnotations]:
+        value_fields = ("x", "y", "n")
+        job = simple_job(
+            name=name,
+            input_dataset=input_name,
+            output_dataset=output_name,
+            map_fn=common.key_by(("k", "g"), value_fields=value_fields),
+            reduce_fn=common.identity_reduce(),
+            group_fields=("k", "g"),
+            reduce_cpu_cost=1.0 + rng.random(),
+            config=JobConfig(num_reduce_tasks=rng.randint(1, 8)),
+        )
+        annotations = JobAnnotations(
+            schema=SchemaAnnotation.of(
+                k1=(),
+                v1=BASE_FIELDS,
+                k2=("k", "g"),
+                v2=value_fields,
+                k3=("k", "g"),
+                v3=value_fields,
+            )
+        )
+        return job, annotations

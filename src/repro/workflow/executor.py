@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.common.errors import ExecutionError
+from repro.common.records import Record
 from repro.dfs.dataset import Dataset
 from repro.dfs.filesystem import InMemoryFileSystem
 from repro.mapreduce.counters import ExecutionCounters
@@ -28,6 +29,16 @@ class WorkflowExecutionResult:
     workflow_name: str
     job_results: Dict[str, JobExecutionResult] = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
+    #: Per-job snapshot of every output dataset's records, taken right after
+    #: the job ran (before any downstream job could overwrite the dataset).
+    #: Filled only when executing with ``collect_outputs=True``; this is what
+    #: the differential-verification harness diffs at job granularity.
+    job_outputs: Dict[str, Dict[str, List[Record]]] = field(default_factory=dict)
+
+    @property
+    def execution_order(self) -> List[str]:
+        """Job names in the order they were executed (topological)."""
+        return list(self.job_results)
 
     @property
     def total_counters(self) -> ExecutionCounters:
@@ -60,13 +71,16 @@ class WorkflowExecutor:
         workflow: Workflow,
         base_datasets: Optional[Mapping[str, Dataset]] = None,
         filesystem: Optional[InMemoryFileSystem] = None,
+        collect_outputs: bool = False,
     ) -> tuple:
         """Execute ``workflow``; returns ``(result, filesystem)``.
 
         ``base_datasets`` supplies materialized data for base dataset
         vertices by name; alternatively the workflow's dataset vertices may
         already carry materialized datasets, or an existing ``filesystem``
-        with the data staged can be passed in.
+        with the data staged can be passed in.  With ``collect_outputs`` the
+        result additionally snapshots every job's output records
+        (``result.job_outputs``) for job-level differential comparison.
         """
         workflow.validate()
         fs = filesystem or InMemoryFileSystem()
@@ -81,9 +95,37 @@ class WorkflowExecutor:
                         f"job {vertex.name!r} needs dataset {input_name!r} which is neither "
                         "a staged base dataset nor produced by an upstream job"
                     )
-            result.job_results[vertex.name] = self.engine.execute_job(vertex.job, fs)
+            job_result = self.engine.execute_job(vertex.job, fs)
+            result.job_results[vertex.name] = job_result
+            if collect_outputs:
+                # Reuse the engine-level snapshot when the engine collected
+                # one; otherwise read the just-written datasets back.
+                result.job_outputs[vertex.name] = job_result.output_records or {
+                    name: fs.get(name).all_records() for name in job_result.output_datasets
+                }
         result.wall_clock_seconds = time.perf_counter() - started
         return result, fs
+
+    def execute_plan(
+        self,
+        plan,
+        base_datasets: Optional[Mapping[str, Dataset]] = None,
+        filesystem: Optional[InMemoryFileSystem] = None,
+        collect_outputs: bool = True,
+    ) -> tuple:
+        """Execute a :class:`~repro.core.plan.Plan` end to end.
+
+        Convenience hook for the verification subsystem: runs the plan's
+        workflow and (by default) collects per-job outputs so divergences can
+        be localized to the job that produced them.  Returns
+        ``(result, filesystem)`` exactly like :meth:`execute`.
+        """
+        return self.execute(
+            plan.workflow,
+            base_datasets=base_datasets,
+            filesystem=filesystem,
+            collect_outputs=collect_outputs,
+        )
 
     @staticmethod
     def _stage_inputs(

@@ -1,11 +1,20 @@
 """Shared pytest configuration for the test suite.
 
-Registers a conservative Hypothesis profile: property-based tests in this
+Registers a conservative Hypothesis profile (property-based tests in this
 suite exercise whole MapReduce executions, which are far slower than the
-microsecond-scale functions Hypothesis' default health checks expect.
+microsecond-scale functions Hypothesis' default health checks expect) and the
+fixture layer of the differential-equivalence battery: the shared cluster
+spec, the differential executor, and the seeded random-workflow list whose
+size is controlled by the ``EQUIVALENCE_SEEDS`` environment variable.
 """
 
+import os
+
+import pytest
 from hypothesis import HealthCheck, settings
+
+from repro.cluster import ClusterSpec
+from repro.verification import DifferentialExecutor, RandomWorkflowGenerator
 
 settings.register_profile(
     "repro",
@@ -14,3 +23,39 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 settings.load_profile("repro")
+
+#: Base seed of the random-workflow sweep; change it to explore a fresh
+#: region of the workflow space (failures always print the exact seed).
+EQUIVALENCE_BASE_SEED = 1000
+
+
+def equivalence_seeds():
+    """Seeds for the random-workflow equivalence sweep (>= 25 by contract).
+
+    ``EQUIVALENCE_SEEDS`` scales the sweep up for nightly runs; the default
+    keeps the tier-1 suite quick while satisfying the battery's minimum.
+    """
+    raw = os.environ.get("EQUIVALENCE_SEEDS", "").strip()
+    try:
+        count = int(raw) if raw else 25
+    except ValueError:
+        count = 25  # a malformed value must not abort collection of the suite
+    return [EQUIVALENCE_BASE_SEED + i for i in range(max(25, count))]
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    """The paper's evaluation cluster, shared across the equivalence battery."""
+    return ClusterSpec.paper_cluster()
+
+
+@pytest.fixture(scope="session")
+def workflow_generator():
+    """A default-config random workflow generator."""
+    return RandomWorkflowGenerator()
+
+
+@pytest.fixture()
+def differential():
+    """A fresh differential executor (float-tolerant output comparison)."""
+    return DifferentialExecutor()

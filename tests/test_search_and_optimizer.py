@@ -116,9 +116,39 @@ class TestStubbyOptimizer:
         assert StubbyOptimizer.vertical_only(CLUSTER).variant_name == "Vertical"
         assert StubbyOptimizer.horizontal_only(CLUSTER).variant_name == "Horizontal"
 
-    def test_rejects_unknown_phase(self):
-        with pytest.raises(ValueError):
-            StubbyOptimizer(CLUSTER, phases=("diagonal",))
+    def test_rejects_unknown_phase_lazily(self):
+        # Construction accepts any phases; validation happens when optimize()
+        # actually uses them, so per-call overrides share the same error path.
+        optimizer = StubbyOptimizer(CLUSTER, phases=("diagonal",))
+        with pytest.raises(ValueError, match="unknown phase 'diagonal'"):
+            optimizer.optimize(_profiled("IR").plan)
+
+    def test_rejects_unknown_phase_override(self):
+        optimizer = StubbyOptimizer(CLUSTER)
+        with pytest.raises(ValueError, match="unknown phase 'sideways'"):
+            optimizer.optimize(_profiled("IR").plan, phases=("vertical", "sideways"))
+
+    def test_phase_override_restricts_one_call(self):
+        workload = _profiled("IR")
+        optimizer = StubbyOptimizer(CLUSTER)
+        result = optimizer.optimize(workload.plan, phases=("vertical",))
+        assert "horizontal-packing" not in result.transformations_applied
+        assert optimizer.phases == ("vertical", "horizontal")  # config untouched
+        # The result is labeled by the phases that actually ran.
+        assert result.optimizer == "Vertical"
+        assert optimizer.variant_name == "Stubby"
+
+    def test_as_plan_accepts_plan_and_workflow(self):
+        workload = _profiled("IR")
+        as_is = StubbyOptimizer._as_plan(workload.plan)
+        assert isinstance(as_is, Plan)
+        wrapped = StubbyOptimizer._as_plan(workload.workflow)
+        assert isinstance(wrapped, Plan) and wrapped.workflow is workload.workflow
+
+    def test_as_plan_rejects_other_types(self):
+        for bogus in (None, 42, "workflow", ["jobs"], {"plan": True}):
+            with pytest.raises(TypeError, match="expects a Plan or a Workflow"):
+                StubbyOptimizer._as_plan(bogus)
 
     def test_optimizes_ir_and_reduces_cost(self):
         workload = _profiled("IR")

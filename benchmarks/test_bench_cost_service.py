@@ -1,0 +1,77 @@
+"""Optimization-overhead benchmark for the incremental cost service.
+
+Runs the full Stubby optimizer on every canned workload and records, per
+workload, the optimizer wall time and the cost-service counters (what-if
+queries, full-depth computations, cache hit/reuse rates).  The result is
+written to ``BENCH_cost_service.json`` (path overridable through the
+``BENCH_COST_SERVICE_OUT`` environment variable) so CI can archive the perf
+trajectory of the optimizer stack across PRs.
+
+The assertions double as the service's performance contract: per
+``optimize()`` the service must perform at least 5x fewer full-workflow
+what-if computations than the pre-refactor engine, which computed every
+query cold.
+"""
+
+import json
+import os
+import time
+
+from conftest import BENCHMARK_SCALE, run_once
+
+from repro.core.optimizer import StubbyOptimizer
+from repro.profiler import Profiler
+from repro.workloads import WORKLOAD_ORDER, build_workload
+
+
+def _output_path():
+    return os.environ.get("BENCH_COST_SERVICE_OUT", "BENCH_cost_service.json")
+
+
+def test_bench_cost_service(benchmark, cluster):
+    def run_all():
+        rows = {}
+        for abbr in WORKLOAD_ORDER:
+            workload = build_workload(abbr, scale=BENCHMARK_SCALE)
+            Profiler().profile_workflow(workload.workflow, workload.base_datasets)
+            started = time.perf_counter()
+            result = StubbyOptimizer(cluster, seed=17).optimize(workload.plan)
+            wall_s = time.perf_counter() - started
+            stats = result.cost_stats
+            rows[abbr] = {
+                "optimizer_wall_s": round(wall_s, 4),
+                "optimization_time_s": round(result.optimization_time_s, 4),
+                "estimated_cost_s": result.estimated_cost_s,
+                "num_jobs": result.num_jobs,
+                **stats.as_dict(),
+            }
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    payload = {
+        "benchmark": "cost_service_optimization_overhead",
+        "scale": BENCHMARK_SCALE,
+        "workloads": rows,
+    }
+    with open(_output_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    print("\nCost-service optimization overhead (per optimize())")
+    print("workload  wall_s  whatif_q  full  eff_full  hit_rate  reuse_rate")
+    for abbr, row in rows.items():
+        print(
+            f"{abbr:<9} {row['optimizer_wall_s']:>6.2f} {row['queries']:>9.0f} "
+            f"{row['full_estimates']:>5.0f} {row['effective_full_estimates']:>9.1f} "
+            f"{row['cache_hit_rate']:>9.2f} {row['reuse_rate']:>10.2f}"
+        )
+
+    for abbr, row in rows.items():
+        assert row["queries"] > 0, abbr
+        # The performance contract: >=5x fewer full-workflow computations
+        # than the pre-refactor cold engine (one per query), both by the
+        # strict zero-reuse count and job-weighted.
+        assert row["full_estimates"] * 5 <= row["queries"], abbr
+        assert row["effective_full_estimates"] * 5 <= row["queries"], abbr
+        assert row["optimizer_wall_s"] < 120.0, abbr
+    assert os.path.exists(_output_path())

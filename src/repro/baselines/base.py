@@ -4,35 +4,47 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from typing import Optional
 
 from repro.cluster import ClusterSpec
+from repro.core.costing import CostService, StatsWindow, ensure_cost_service
 from repro.core.optimizer import OptimizationResult
 from repro.core.plan import Plan
-from repro.whatif.model import WhatIfEngine
 from repro.workflow.graph import Workflow
 
 
 class BaselineOptimizer(ABC):
-    """Base class giving baselines the same ``optimize`` interface as Stubby."""
+    """Base class giving baselines the same ``optimize`` interface as Stubby.
+
+    Baselines issue their cost queries through the same shared
+    :class:`CostService` as Stubby, so cost-based baselines (Starfish,
+    MRShare) get the same incremental memoization — and report the same
+    what-if statistics — as the main optimizer.
+    """
 
     name = "baseline"
 
-    def __init__(self, cluster: ClusterSpec) -> None:
+    def __init__(self, cluster: ClusterSpec, cost_service: Optional[CostService] = None) -> None:
         self.cluster = cluster
-        self.whatif = WhatIfEngine(cluster)
+        self.costs = ensure_cost_service(cluster, cost_service)
+        self.whatif = self.costs.engine
 
     def optimize(self, plan_or_workflow) -> OptimizationResult:
         """Optimize a plan (or raw workflow) with this baseline's strategy."""
         plan = self._as_plan(plan_or_workflow)
-        started = time.perf_counter()
-        optimized = self._optimize_plan(plan.copy())
-        elapsed = time.perf_counter() - started
-        estimate = self.whatif.estimate_workflow(optimized.workflow)
+        with StatsWindow(self.costs) as window:
+            started = time.perf_counter()
+            optimized = self._optimize_plan(plan.copy())
+            # Only the strategy counts as optimization time; the final
+            # estimate below is result accounting.
+            elapsed = time.perf_counter() - started
+            estimate = self.costs.estimate_workflow(optimized.workflow)
         return OptimizationResult(
             plan=optimized,
             estimated_cost_s=estimate.total_s,
             optimization_time_s=elapsed,
             optimizer=self.name,
+            cost_stats=window.delta,
         )
 
     @abstractmethod

@@ -19,8 +19,8 @@ class MRShareOptimizer(BaselineOptimizer):
 
     name = "MRShare"
 
-    def __init__(self, cluster) -> None:
-        super().__init__(cluster)
+    def __init__(self, cluster, cost_service=None) -> None:
+        super().__init__(cluster, cost_service=cost_service)
         self._horizontal = HorizontalPacking(allow_extended=False)
 
     def _optimize_plan(self, plan: Plan) -> Plan:
@@ -29,7 +29,7 @@ class MRShareOptimizer(BaselineOptimizer):
         improved = True
         while improved:
             improved = False
-            current_cost = self.whatif.estimate_workflow(current.workflow).total_s
+            current_cost = self.costs.estimate_workflow(current.workflow).total_s
             all_jobs = tuple(current.workflow.job_names)
             applications = [
                 application
@@ -41,7 +41,7 @@ class MRShareOptimizer(BaselineOptimizer):
             for application in applications:
                 candidate = self._horizontal.apply(current, application)
                 ConfigurationTransformation.rule_of_thumb_config(candidate, self.cluster)
-                cost = self.whatif.estimate_workflow(candidate.workflow).total_s
+                cost = self.costs.estimate_workflow(candidate.workflow).total_s
                 if cost < best_cost:
                     best_cost = cost
                     best_candidate = candidate

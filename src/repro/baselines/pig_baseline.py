@@ -22,8 +22,8 @@ class PigBaselineOptimizer(BaselineOptimizer):
 
     name = "Baseline"
 
-    def __init__(self, cluster, enable_multiquery: bool = True) -> None:
-        super().__init__(cluster)
+    def __init__(self, cluster, enable_multiquery: bool = True, cost_service=None) -> None:
+        super().__init__(cluster, cost_service=cost_service)
         self.enable_multiquery = enable_multiquery
         self._horizontal = HorizontalPacking(allow_extended=False)
 

@@ -24,15 +24,15 @@ class StarfishOptimizer(BaselineOptimizer):
 
     name = "Starfish"
 
-    def __init__(self, cluster, rrs: Optional[RecursiveRandomSearch] = None, seed: int = 23) -> None:
-        super().__init__(cluster)
+    def __init__(self, cluster, rrs: Optional[RecursiveRandomSearch] = None, seed: int = 23, cost_service=None) -> None:
+        super().__init__(cluster, cost_service=cost_service)
         self.rrs = rrs or RecursiveRandomSearch(
             exploration_samples=10, exploitation_samples=8, restarts=1, seed=seed
         )
         self._rng = DeterministicRNG(seed)
 
     def _optimize_plan(self, plan: Plan) -> Plan:
-        baseline = self.whatif.estimate_workflow(plan.workflow)
+        baseline = self.costs.estimate_workflow(plan.workflow)
         if baseline.cost_basis != "whatif":
             # Without profiles Starfish cannot cost configurations; fall back
             # to the rule-of-thumb settings.
@@ -48,7 +48,7 @@ class StarfishOptimizer(BaselineOptimizer):
             def objective(point: Mapping[str, object], job_name: str = vertex.name) -> float:
                 candidate = plan.copy()
                 ConfigurationTransformation.apply_settings_in_place(candidate, {job_name: point})
-                return self.whatif.estimate_workflow(candidate.workflow).total_s
+                return self.costs.estimate_workflow(candidate.workflow).total_s
 
             result = self.rrs.search(
                 space, objective, initial_point=current, rng=self._rng.fork(vertex.name)

@@ -1,0 +1,67 @@
+"""Glue binding the optimizer stack to the shared cost-estimation service.
+
+The search, the optimizer façade, and the baselines all obtain their
+:class:`~repro.whatif.service.CostService` through :func:`ensure_cost_service`
+so that one service instance (and therefore one cache and one stats ledger)
+can be threaded through an entire optimizer run — or shared across several
+optimizers when an experiment wants cross-run reuse.
+
+:class:`StatsWindow` captures the stats delta over a region of work; the
+search uses it to attribute what-if queries, cache hits, and re-costed job
+counts to individual optimization units, and the optimizer uses it to report
+per-``optimize()`` totals in :class:`~repro.core.optimizer.OptimizationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import ClusterSpec
+from repro.whatif.service import CostService, CostServiceStats
+
+__all__ = ["CostService", "CostServiceStats", "StatsWindow", "ensure_cost_service"]
+
+
+def ensure_cost_service(
+    cluster: ClusterSpec, service: Optional[CostService] = None
+) -> CostService:
+    """Return ``service`` if given, else a fresh :class:`CostService`.
+
+    Components accept an optional service so callers can share one cache
+    across search/optimizer/baseline layers; this helper keeps the
+    default-construction policy in one place.  A shared service must have
+    been built for the same cluster — cached estimates carry no cluster
+    component, so cross-cluster sharing would silently serve wrong costs.
+    """
+    if service is None:
+        return CostService(cluster)
+    if service.cluster != cluster:
+        raise ValueError(
+            "cost service was built for a different ClusterSpec; "
+            "cached estimates are only valid for the cluster they were computed on"
+        )
+    return service
+
+
+class StatsWindow:
+    """Context manager capturing a :class:`CostServiceStats` delta.
+
+    Usage::
+
+        with StatsWindow(service) as window:
+            ...cost queries...
+        window.delta  # CostServiceStats with just this region's counters
+    """
+
+    def __init__(self, service: CostService) -> None:
+        self.service = service
+        self.delta: CostServiceStats = CostServiceStats()
+        self._before: Optional[CostServiceStats] = None
+
+    def __enter__(self) -> "StatsWindow":
+        self._before = self.service.stats.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._before is not None
+        self.delta = self.service.stats.since(self._before)

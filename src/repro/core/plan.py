@@ -32,18 +32,51 @@ class AppliedTransformation:
 class Plan:
     """An annotated workflow together with its transformation history."""
 
-    def __init__(self, workflow: Workflow, history: Optional[List[AppliedTransformation]] = None) -> None:
+    def __init__(
+        self,
+        workflow: Workflow,
+        history: Optional[List[AppliedTransformation]] = None,
+        merge_lineage: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> None:
         self.workflow = workflow
         self.history: List[AppliedTransformation] = list(history or [])
+        #: Explicit merge provenance: name of a job created by a packing
+        #: transformation -> the *original* job names it absorbed
+        #: (transitively flattened).  Maintained by the transformations via
+        #: :meth:`record_merge`; the search uses it to keep a unit's
+        #: configuration tuning focused on the right jobs without parsing
+        #: job-name conventions.
+        self.merge_lineage: Dict[str, Tuple[str, ...]] = dict(merge_lineage or {})
 
     # ------------------------------------------------------------- plumbing
     def copy(self) -> "Plan":
         """Independent copy (workflow deep-copied, history duplicated)."""
-        return Plan(self.workflow.copy(), history=list(self.history))
+        return Plan(
+            self.workflow.copy(),
+            history=list(self.history),
+            merge_lineage=dict(self.merge_lineage),
+        )
 
     def record(self, applied: AppliedTransformation) -> None:
         """Append a transformation application to the history."""
         self.history.append(applied)
+
+    def record_merge(self, merged_name: str, source_jobs: Tuple[str, ...]) -> None:
+        """Record that ``merged_name`` was created by packing ``source_jobs``.
+
+        Sources that are themselves merged jobs are expanded through their
+        own lineage, so the stored provenance always names original jobs.
+        """
+        expanded: List[str] = []
+        for source in source_jobs:
+            for origin in self.merge_lineage.get(source, (source,)):
+                if origin not in expanded:
+                    expanded.append(origin)
+        self.merge_lineage[merged_name] = tuple(expanded)
+
+    def merge_sources(self, job_name: str) -> Tuple[str, ...]:
+        """Original job names behind ``job_name`` (itself, if never merged)."""
+        return self.merge_lineage.get(job_name, (job_name,))
 
     # ------------------------------------------------------------ accessors
     @property

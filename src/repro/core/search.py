@@ -23,13 +23,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.common.rng import DeterministicRNG
+from repro.core.costing import CostService, StatsWindow, ensure_cost_service
 from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
 from repro.core.transformations.base import Transformation, TransformationApplication
 from repro.core.transformations.configuration import ConfigurationTransformation
 from repro.mapreduce.config import ConfigDimension, ConfigurationSpace
-from repro.whatif.model import WhatIfEngine
 
 #: Caps keeping the exhaustive enumeration inside a unit bounded; in practice
 #: (paper §4.2) the number of unique subplans per unit is small.
@@ -56,6 +56,12 @@ class UnitReport:
     phase: str
     subplans: List[SubplanRecord] = field(default_factory=list)
     chosen_index: int = -1
+    #: Cost-service activity attributed to this unit: workflow-level what-if
+    #: queries issued, job estimates served from the cache, and jobs that
+    #: actually had to be re-costed.
+    cost_queries: int = 0
+    job_cache_hits: int = 0
+    jobs_recosted: int = 0
     #: The full plan before and after this unit was optimized.  The
     #: differential-verification harness replays ``plan_after`` to bisect an
     #: output divergence down to the single unit — and therefore the single
@@ -90,9 +96,13 @@ class StubbySearch:
         rrs: Optional[RecursiveRandomSearch] = None,
         seed: int = 17,
         optimize_configurations: bool = True,
+        cost_service: Optional[CostService] = None,
     ) -> None:
         self.cluster = cluster
-        self.whatif = WhatIfEngine(cluster)
+        #: All cost queries go through the shared (memoizing) service; the
+        #: underlying engine stays reachable for cold/diagnostic estimates.
+        self.costs = ensure_cost_service(cluster, cost_service)
+        self.whatif = self.costs.engine
         self.vertical_transformations = list(vertical_transformations)
         self.horizontal_transformations = list(horizontal_transformations)
         self.rrs = rrs or RecursiveRandomSearch(
@@ -147,15 +157,21 @@ class StubbySearch:
 
         best_index = -1
         best_cost = float("inf")
-        for index, record in enumerate(candidates):
-            cost, settings, evaluations = self._cost_with_configurations(record.plan, record_unit_jobs(record, unit))
-            record.estimated_cost = cost
-            record.best_settings = settings
-            record.rrs_evaluations = evaluations
-            report.subplans.append(record)
-            if cost < best_cost:
-                best_cost = cost
-                best_index = index
+        with StatsWindow(self.costs) as window:
+            for index, record in enumerate(candidates):
+                cost, settings, evaluations = self._cost_with_configurations(
+                    record.plan, record_unit_jobs(record, unit)
+                )
+                record.estimated_cost = cost
+                record.best_settings = settings
+                record.rrs_evaluations = evaluations
+                report.subplans.append(record)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_index = index
+        report.cost_queries = window.delta.queries
+        report.job_cache_hits = window.delta.job_cache_hits
+        report.jobs_recosted = window.delta.job_cache_misses
 
         report.chosen_index = best_index
         if best_index < 0:
@@ -229,7 +245,7 @@ class StubbySearch:
         plan: Plan,
         unit_jobs: Sequence[str],
     ) -> Tuple[float, Dict[str, Mapping[str, object]], int]:
-        baseline_estimate = self.whatif.estimate_workflow(plan.workflow)
+        baseline_estimate = self.costs.estimate_workflow(plan.workflow)
         if baseline_estimate.cost_basis != "whatif" or not self.optimize_configurations:
             return baseline_estimate.total_s, {}, 0
 
@@ -246,7 +262,7 @@ class StubbySearch:
             ConfigurationTransformation.apply_settings_in_place(
                 candidate, self._split_point(point)
             )
-            return self.whatif.estimate_workflow(candidate.workflow).total_s
+            return self.costs.estimate_workflow(candidate.workflow).total_s
 
         result = self.rrs.search(space, objective, initial_point=initial, rng=self._rng.fork(str(sorted(jobs_to_tune))))
         best_settings = self._split_point(result.best_point)
@@ -284,18 +300,23 @@ class StubbySearch:
 def record_unit_jobs(record: SubplanRecord, unit: OptimizationUnit) -> Tuple[str, ...]:
     """Unit job names that still exist in a candidate subplan, plus merges.
 
-    Merged jobs are detected by name convention (they contain a ``+``) and by
-    membership: any job of the candidate plan that is not part of the
-    original plan's unit but was created by packing unit jobs keeps the unit's
-    configuration search focused on the right jobs.
+    Merged jobs are resolved through the plan's explicit merge provenance
+    (:meth:`~repro.core.plan.Plan.merge_sources`, recorded by the packing
+    transformations): any job of the candidate plan that absorbed a unit job
+    keeps the unit's configuration search focused on the right jobs — no
+    job-name parsing involved.
     """
     names = set(record.plan.workflow.job_names)
     surviving = [name for name in unit.jobs if name in names]
-    unit_set = set(unit.jobs)
+    # Unit jobs may themselves be merges from an earlier phase, so membership
+    # is checked at the granularity of original job names on both sides.
+    unit_sources = set()
+    for name in unit.jobs:
+        unit_sources.update(record.plan.merge_sources(name))
     for name in record.plan.workflow.job_names:
         if name in surviving:
             continue
-        parts = name.split("+")
-        if len(parts) > 1 and any(part in unit_set for part in parts):
+        sources = record.plan.merge_sources(name)
+        if len(sources) > 1 and any(source in unit_sources for source in sources):
             surviving.append(name)
     return tuple(surviving)

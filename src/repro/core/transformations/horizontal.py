@@ -203,6 +203,7 @@ class HorizontalPacking(Transformation):
         for name in names[1:]:
             workflow.remove_job(name)
         workflow.prune_orphan_datasets()
+        new_plan.record_merge(merged_name, tuple(names))
         return self._record(new_plan, application)
 
     @staticmethod

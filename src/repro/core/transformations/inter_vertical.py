@@ -117,6 +117,7 @@ class InterJobVerticalPacking(Transformation):
         workflow.replace_job(producer_name, merged_vertex.job, merged_vertex.annotations)
         workflow.remove_job(consumer_name)
         workflow.prune_orphan_datasets()
+        new_plan.record_merge(merged_vertex.job.name, (producer_name, consumer_name))
         return self._record(new_plan, application)
 
     def _absorb_consumer(self, producer: JobVertex, consumer: JobVertex) -> JobVertex:

@@ -40,7 +40,7 @@ from repro.core.transformations import (
 from repro.core.optimization_unit import OptimizationUnitGenerator
 from repro.core.transformations.configuration import ConfigurationTransformation
 from repro.profiler import Profiler
-from repro.whatif import ActualCostModel, WhatIfEngine
+from repro.whatif import ActualCostModel, CostService
 from repro.workflow.executor import WorkflowExecutor
 from repro.workloads import build_workload
 from repro.workloads.base import Workload
@@ -57,6 +57,12 @@ class OptimizerRun:
     optimization_time_s: float
     output_equivalent: bool
     transformations: List[str] = field(default_factory=list)
+    #: Cost-service activity of the optimizer run (Figure 13 companion
+    #: metrics): workflow-level what-if queries, jobs actually re-costed,
+    #: and the fraction of job estimates served from the cache.
+    whatif_queries: int = 0
+    jobs_recosted: int = 0
+    cache_hit_rate: float = 0.0
 
     def speedup_over(self, baseline: "OptimizerRun") -> float:
         """Speedup of this run's actual runtime over the baseline's."""
@@ -108,25 +114,32 @@ class ExperimentHarness:
         self.seed = seed
         self.executor = WorkflowExecutor()
         self.actual_model = ActualCostModel(self.cluster)
-        self.whatif = WhatIfEngine(self.cluster)
+        self.costs = CostService(self.cluster)
+        self.whatif = self.costs.engine
 
     # ----------------------------------------------------------- optimizers
     def make_optimizer(self, name: str):
-        """Instantiate an optimizer by its display name."""
+        """Instantiate an optimizer by its display name.
+
+        Every optimizer is handed the harness's shared :class:`CostService`,
+        so exact per-vertex estimates are reused across the optimizers (and
+        workloads) of one comparison; per-run stats stay separable because
+        each ``optimize()`` reports its own counter delta.
+        """
         if name == "Baseline":
-            return PigBaselineOptimizer(self.cluster)
+            return PigBaselineOptimizer(self.cluster, cost_service=self.costs)
         if name == "Stubby":
-            return StubbyOptimizer(self.cluster)
+            return StubbyOptimizer(self.cluster, cost_service=self.costs)
         if name == "Vertical":
-            return StubbyOptimizer.vertical_only(self.cluster)
+            return StubbyOptimizer.vertical_only(self.cluster, cost_service=self.costs)
         if name == "Horizontal":
-            return StubbyOptimizer.horizontal_only(self.cluster)
+            return StubbyOptimizer.horizontal_only(self.cluster, cost_service=self.costs)
         if name == "Starfish":
-            return StarfishOptimizer(self.cluster)
+            return StarfishOptimizer(self.cluster, cost_service=self.costs)
         if name == "YSmart":
-            return YSmartOptimizer(self.cluster)
+            return YSmartOptimizer(self.cluster, cost_service=self.costs)
         if name == "MRShare":
-            return MRShareOptimizer(self.cluster)
+            return MRShareOptimizer(self.cluster, cost_service=self.costs)
         raise KeyError(f"unknown optimizer {name!r}")
 
     # ------------------------------------------------------------- workload
@@ -155,6 +168,10 @@ class ExperimentHarness:
         )
         for optimizer_name in optimizers:
             optimizer = self.make_optimizer(optimizer_name)
+            # Each timed run starts cold so the reported optimization time
+            # and what-if counters are standalone (order-independent) —
+            # Figure 13 must not depend on which optimizer ran first.
+            self.costs.invalidate()
             result = optimizer.optimize(workload.plan)
             comparison.runs[optimizer_name] = self._evaluate(result, workload, reference_outputs)
         return comparison
@@ -186,6 +203,7 @@ class ExperimentHarness:
                 continue
             if not records_equal(reference, filesystem.get(name).all_records()):
                 equivalent = False
+        stats = result.cost_stats
         return OptimizerRun(
             optimizer=result.optimizer,
             num_jobs=result.num_jobs,
@@ -194,6 +212,9 @@ class ExperimentHarness:
             optimization_time_s=result.optimization_time_s,
             output_equivalent=equivalent,
             transformations=[t for t in result.transformations_applied if t != "configuration"],
+            whatif_queries=stats.queries if stats is not None else 0,
+            jobs_recosted=stats.jobs_recosted if stats is not None else 0,
+            cache_hit_rate=stats.cache_hit_rate if stats is not None else 0.0,
         )
 
     # ---------------------------------------------------------- deep dives
@@ -258,7 +279,9 @@ class ExperimentHarness:
     @staticmethod
     def format_overhead_table(comparisons: Sequence[WorkloadComparison]) -> str:
         """Text table of Stubby's optimization overhead (Figure 13)."""
-        lines = ["workload  optimization_s  baseline_runtime_s  overhead_pct"]
+        lines = [
+            "workload  optimization_s  baseline_runtime_s  overhead_pct  whatif_q  hit_rate"
+        ]
         for comparison in comparisons:
             stubby = comparison.runs.get("Stubby")
             baseline = comparison.runs.get("Baseline")
@@ -267,6 +290,7 @@ class ExperimentHarness:
             pct = 100.0 * stubby.optimization_time_s / max(1e-9, baseline.actual_s)
             lines.append(
                 f"{comparison.abbreviation:<9} {stubby.optimization_time_s:>14.2f} "
-                f"{baseline.actual_s:>19.1f} {pct:>13.3f}"
+                f"{baseline.actual_s:>19.1f} {pct:>13.3f} {stubby.whatif_queries:>9d} "
+                f"{stubby.cache_hit_rate:>9.2f}"
             )
         return "\n".join(lines)

@@ -168,6 +168,76 @@ class RandomWorkflowGenerator:
         """A generator whose config replaces the given fields."""
         return RandomWorkflowGenerator(replace(self.config, **overrides))
 
+    def diamond_shared_sink(self, seed: int) -> GeneratedWorkflow:
+        """A diamond fan-in feeding a shared-scan sink (fixed workload shape).
+
+        Structure (all from the random catalog's building blocks, sized by
+        ``seed``)::
+
+                       src
+                      /    \\
+                (project)  (filter)      <- diamond branches share src's scan
+                     |        |
+                    d0        d1
+                      \\      /
+                     (fan-in sum)        <- one pipeline reading BOTH datasets
+                          |
+                          d2
+                        /    \\
+                (aggregate)  (distinct)  <- sink jobs share d2's scan
+
+        The shape exercises exactly the corners the random DAGs rarely hit
+        together: a multi-input pipeline (fan-in), two horizontal-packing
+        opportunities at different depths, and vertical chains above and
+        below the fan-in.  Profiled and validated like every generated
+        workflow; the same seed always yields the same workflow and data.
+        """
+        config = self.config
+        rng = DeterministicRNG(seed)
+        data_rng = rng.fork("diamond-data")
+        job_rng = rng.fork("diamond-jobs")
+
+        workflow = Workflow(name=f"diamond-{seed}")
+        src = f"diamond{seed}_src"
+        base_datasets = {src: self._make_dataset(src, data_rng.fork(src))}
+
+        branch_a, annotations_a = self._build_project(
+            f"D{seed}_J0", src, f"diamond{seed}_d0", job_rng.fork("j0"), config
+        )
+        branch_b, annotations_b = self._build_filter(
+            f"D{seed}_J1", src, f"diamond{seed}_d1", job_rng.fork("j1"), config
+        )
+        workflow.add_job(branch_a, annotations_a)
+        workflow.add_job(branch_b, annotations_b)
+
+        fan_in, fan_in_annotations = self._build_sum(
+            f"D{seed}_J2", f"diamond{seed}_d0", f"diamond{seed}_d2", job_rng.fork("j2"), config
+        )
+        # Widen the sum job's single pipeline to read both diamond branches:
+        # the map keys by "k" either way, and summing is order-insensitive,
+        # so the fan-in is a pure multiset union of the two inputs.
+        fan_in.pipelines[0].input_datasets = (f"diamond{seed}_d0", f"diamond{seed}_d1")
+        workflow.add_job(fan_in, fan_in_annotations)
+
+        sink_a, sink_a_annotations = self._build_aggregate(
+            f"D{seed}_J3", f"diamond{seed}_d2", f"diamond{seed}_d3", job_rng.fork("j3"), config
+        )
+        sink_b, sink_b_annotations = self._build_distinct(
+            f"D{seed}_J4", f"diamond{seed}_d2", f"diamond{seed}_d4", job_rng.fork("j4"), config
+        )
+        workflow.add_job(sink_a, sink_a_annotations)
+        workflow.add_job(sink_b, sink_b_annotations)
+
+        profiler = Profiler()
+        for name, dataset in base_datasets.items():
+            workflow.add_dataset(name, dataset=dataset, annotation=profiler.annotate_dataset(dataset))
+        if config.profile:
+            profiler.profile_workflow(workflow, base_datasets)
+        workflow.validate()
+        return GeneratedWorkflow(
+            seed=seed, workflow=workflow, base_datasets=base_datasets, config=config
+        )
+
     # ----------------------------------------------------------- DAG shaping
     def _pick_input(
         self,

@@ -12,7 +12,8 @@ Figure 14.
 from repro.whatif.dataflow import JobDataflow
 from repro.whatif.jobmodel import JobTimeEstimate, estimate_job_time
 from repro.whatif.scheduling import workflow_makespan
-from repro.whatif.model import WhatIfEngine, WorkflowCostEstimate
+from repro.whatif.model import VertexCost, WhatIfEngine, WorkflowCostEstimate
+from repro.whatif.service import CostService, CostServiceStats
 from repro.whatif.actual import ActualCostModel
 from repro.whatif.adjustment import (
     adjust_profile_for_horizontal_packing,
@@ -25,8 +26,11 @@ __all__ = [
     "JobTimeEstimate",
     "estimate_job_time",
     "workflow_makespan",
+    "VertexCost",
     "WhatIfEngine",
     "WorkflowCostEstimate",
+    "CostService",
+    "CostServiceStats",
     "ActualCostModel",
     "adjust_profile_for_intra_job_packing",
     "adjust_profile_for_inter_job_packing",

@@ -6,6 +6,15 @@ profile annotations and the (estimated) sizes of its input datasets, costs it
 with the per-phase job model, propagates the estimated output sizes to
 downstream jobs, and combines per-level makespans into the workflow estimate.
 
+Costing is exposed as composable per-vertex steps — :meth:`WhatIfEngine.cost_vertex`
+produces one job's time estimate together with its output-size contributions,
+:meth:`WhatIfEngine.apply_output_contributions` advances the size state, and
+:meth:`WhatIfEngine.vertex_cost_signature` captures every input the per-vertex
+step reads — so :class:`repro.whatif.service.CostService` can memoize unchanged
+jobs and re-cost only the mutated cone of a workflow.
+:meth:`WhatIfEngine.estimate_workflow` is the cold (uncached) composition of
+those steps.
+
 When a job carries no profile annotation the engine falls back to the simple
 "number of jobs" cost model used by rule-based optimizers such as YSmart [11]
 (paper §5), flagged through ``WorkflowCostEstimate.cost_basis``.
@@ -28,6 +37,9 @@ from repro.workflow.graph import JobVertex, Workflow
 
 #: Simulated seconds charged per job under the fallback job-count cost model.
 JOB_COUNT_COST_SECONDS = 1_000.0
+
+#: Cap on the per-engine profile-content-key memo (see ``_profile_key``).
+_MAX_PROFILE_KEYS = 16_384
 
 
 @dataclass
@@ -65,18 +77,45 @@ class _PipelineFlow:
     output_dataset: str
 
 
+@dataclass(frozen=True)
+class VertexCost:
+    """Result of costing one job vertex: the estimate plus its size effects.
+
+    ``output_contributions`` lists, in pipeline order, the
+    ``(dataset_name, bytes, records)`` each pipeline adds to its output
+    dataset.  Keeping them ordered makes replaying a cached entry reproduce
+    the engine's floating-point accumulation *exactly*.
+    """
+
+    estimate: JobTimeEstimate
+    output_contributions: Tuple[Tuple[str, float, float], ...]
+
+
 class WhatIfEngine:
     """Analytical cost estimation for annotated MapReduce workflows."""
 
     def __init__(self, cluster: ClusterSpec) -> None:
         self.cluster = cluster
+        #: id(profile) -> (pinned profile, content key); see ``_profile_key``.
+        self._profile_keys: Dict[int, Tuple[ProfileAnnotation, Tuple]] = {}
 
     # ------------------------------------------------------------------ API
     def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
         """Estimate the total runtime of ``workflow`` on the engine's cluster."""
         if any(not vertex.annotations.has_profile for vertex in workflow.jobs):
             return self._job_count_estimate(workflow)
+        return self.run_costing(workflow, self.cost_vertex)
 
+    def run_costing(self, workflow: Workflow, cost_vertex_fn) -> WorkflowCostEstimate:
+        """The one workflow-costing traversal, parameterized by per-vertex costing.
+
+        Walks the topological levels, calls ``cost_vertex_fn(vertex,
+        workflow, sizes)`` for each job (the cold :meth:`cost_vertex` here;
+        a cache-aware wrapper in the cost service), propagates the returned
+        output-size contributions, and combines per-level makespans.
+        Sharing this single driver is what keeps the memoized service
+        *exactly* equal to a cold estimation by construction.
+        """
         sizes = self._base_dataset_sizes(workflow)
         per_job: Dict[str, JobTimeEstimate] = {}
         per_level: List[List[JobTimeEstimate]] = []
@@ -84,15 +123,185 @@ class WhatIfEngine:
         for level in workflow.topological_levels():
             level_estimates: List[JobTimeEstimate] = []
             for vertex in level:
-                dataflow = self.derive_job_dataflow(vertex, workflow, sizes)
-                estimate = estimate_job_time(dataflow, vertex.job.config, self.cluster)
-                per_job[vertex.name] = estimate
-                level_estimates.append(estimate)
-                self._propagate_outputs(vertex, workflow, sizes)
+                costed = cost_vertex_fn(vertex, workflow, sizes)
+                per_job[vertex.name] = costed.estimate
+                level_estimates.append(costed.estimate)
+                self.apply_output_contributions(sizes, costed.output_contributions)
             per_level.append(level_estimates)
 
         total = workflow_makespan(per_level, self.cluster)
         return WorkflowCostEstimate(total_s=total, per_job=per_job, dataset_sizes=dict(sizes))
+
+    # ------------------------------------------------------ per-vertex steps
+    def cost_vertex(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> VertexCost:
+        """Cost one job given the dataset sizes known so far.
+
+        The composable unit of workflow estimation: derives the job's
+        pipeline flows once, turns them into both the time estimate and the
+        output-size contributions the caller must apply (via
+        :meth:`apply_output_contributions`) before costing downstream jobs.
+        """
+        dataflow, contributions = self.derive_vertex_dataflow(vertex, workflow, sizes)
+        estimate = estimate_job_time(dataflow, vertex.job.config, self.cluster)
+        return VertexCost(estimate=estimate, output_contributions=contributions)
+
+    def derive_vertex_dataflow(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> Tuple[JobDataflow, Tuple[Tuple[str, float, float], ...]]:
+        """Derive one job's dataflow and output-size contributions together.
+
+        The expensive half of :meth:`cost_vertex` — the operator-chain and
+        selectivity arithmetic — separated out so the cost service can cache
+        it under :meth:`vertex_dataflow_signature` and reuse it across
+        configuration samples that only move job-model knobs.
+        """
+        profile = vertex.annotations.profile
+        if profile is None:
+            raise CostModelError(f"job {vertex.name!r} has no profile annotation")
+        flows = self._vertex_flows(vertex, workflow, sizes, profile)
+        dataflow = self._dataflow_from_flows(vertex, workflow, sizes, profile, flows)
+        contributions = tuple(
+            (flow.output_dataset, flow.output_bytes, flow.output_records) for flow in flows
+        )
+        return dataflow, contributions
+
+    @staticmethod
+    def apply_output_contributions(
+        sizes: Dict[str, Tuple[float, float]],
+        contributions: Tuple[Tuple[str, float, float], ...],
+    ) -> None:
+        """Add a costed vertex's output sizes into the size state, in order."""
+        for dataset_name, out_bytes, out_records in contributions:
+            previous = sizes.get(dataset_name, (0.0, 0.0))
+            sizes[dataset_name] = (previous[0] + out_bytes, previous[1] + out_records)
+
+    def vertex_dataflow_signature(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> Tuple:
+        """Everything the *dataflow derivation* of a vertex reads, hashable.
+
+        Two vertices (possibly across different plan copies or even different
+        workflows) with equal signatures derive identical
+        :class:`~repro.whatif.dataflow.JobDataflow` and output-size
+        contributions, so the signature is the coarse memoization key of the
+        incremental :class:`~repro.whatif.service.CostService`.  Deliberately
+        excludes the job *name* (structurally identical jobs share cache
+        entries) and the configuration dimensions only the per-phase job
+        model reads (reduce tasks, split size, sort buffer, compression) —
+        those live in :meth:`jobmodel_config_key` — so RRS samples that only
+        move job-model knobs still reuse the derived dataflow.
+
+        Producer-dependent facts are only included where the derivation
+        reads them — partition counts only for inputs with a
+        partition-pruning filter, chained map tasks only under the chaining
+        constraint — so a config change on a producer does not spuriously
+        invalidate consumers.
+        """
+        job = vertex.job
+        pipeline_parts = []
+        for pipeline in job.pipelines:
+            inputs = []
+            for dataset_name in pipeline.input_datasets:
+                allowed = pipeline.allowed_partitions(dataset_name)
+                partition_count = (
+                    self._dataset_partition_count(dataset_name, workflow)
+                    if allowed is not None
+                    else None
+                )
+                inputs.append(
+                    (dataset_name, sizes.get(dataset_name), allowed, partition_count)
+                )
+            pipeline_parts.append(
+                (
+                    tuple(inputs),
+                    tuple((op.name, op.cpu_cost_per_record) for op in pipeline.map_ops),
+                    tuple(
+                        (op.name, op.cpu_cost_per_record, op.group_fields)
+                        for op in pipeline.reduce_ops
+                    ),
+                    pipeline.output_dataset,
+                )
+            )
+        config = job.config
+        return (
+            tuple(pipeline_parts),
+            tuple(job.effective_partitioner.fields),
+            job.has_combiner and config.combiner_enabled,
+            self._profile_key(vertex.annotations.profile),
+            (config.chained_input, self._chained_map_tasks(vertex, workflow)),
+        )
+
+    @staticmethod
+    def jobmodel_config_key(config) -> Tuple:
+        """The configuration dimensions read only by the per-phase job model."""
+        return (
+            config.num_reduce_tasks,
+            config.split_size_mb,
+            config.io_sort_mb,
+            config.compress_map_output,
+            config.compress_output,
+        )
+
+    def vertex_cost_signature(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+    ) -> Tuple[Tuple, Tuple]:
+        """Full per-vertex cost key: (dataflow signature, job-model config key).
+
+        Equal full signatures imply an identical :meth:`cost_vertex` result;
+        equal first components alone imply an identical derived dataflow.
+        """
+        return (
+            self.vertex_dataflow_signature(vertex, workflow, sizes),
+            self.jobmodel_config_key(vertex.job.config),
+        )
+
+    def _profile_key(self, profile: Optional[ProfileAnnotation]) -> Optional[Tuple]:
+        """Content-based key of a profile annotation, memoized by identity.
+
+        Profiles are immutable and shared across plan copies, so keying the
+        memo on ``id`` is safe as long as the profile object is pinned (kept
+        referenced) by the memo itself — which also keeps the id stable.
+        """
+        if profile is None:
+            return None
+        entry = self._profile_keys.get(id(profile))
+        if entry is not None and entry[0] is profile:
+            return entry[1]
+        key = (
+            profile.map_selectivity,
+            profile.reduce_selectivity,
+            profile.map_output_record_bytes,
+            profile.output_record_bytes,
+            profile.input_record_bytes,
+            profile.combine_reduction,
+            profile.map_cpu_cost_per_record,
+            profile.reduce_cpu_cost_per_record,
+            tuple(sorted(profile.key_cardinalities.items())),
+            tuple(
+                sorted(
+                    (name, op.selectivity, op.cpu_cost_per_record, op.output_record_bytes)
+                    for name, op in profile.operator_profiles.items()
+                )
+            ),
+        )
+        if len(self._profile_keys) >= _MAX_PROFILE_KEYS:
+            self._profile_keys.clear()
+        self._profile_keys[id(profile)] = (profile, key)
+        return key
 
     def estimate_job(
         self,
@@ -106,6 +315,14 @@ class WhatIfEngine:
         return estimate_job_time(dataflow, vertex.job.config, self.cluster)
 
     # --------------------------------------------------------- size tracking
+    def base_dataset_sizes(self, workflow: Workflow) -> Dict[str, Tuple[float, float]]:
+        """Initial size state: the (bytes, records) of every base dataset."""
+        return self._base_dataset_sizes(workflow)
+
+    def job_count_estimate(self, workflow: Workflow) -> WorkflowCostEstimate:
+        """The profile-free fallback estimate (cost basis ``job_count``)."""
+        return self._job_count_estimate(workflow)
+
     def _base_dataset_sizes(self, workflow: Workflow) -> Dict[str, Tuple[float, float]]:
         sizes: Dict[str, Tuple[float, float]] = {}
         for dataset_vertex in workflow.base_datasets():
@@ -162,17 +379,35 @@ class WhatIfEngine:
         sizes: Dict[str, Tuple[float, float]],
     ) -> JobDataflow:
         """Derive the expected dataflow of one job from annotations and sizes."""
-        job = vertex.job
         profile = vertex.annotations.profile
         if profile is None:
             raise CostModelError(f"job {vertex.name!r} has no profile annotation")
+        flows = self._vertex_flows(vertex, workflow, sizes, profile)
+        return self._dataflow_from_flows(vertex, workflow, sizes, profile, flows)
 
-        input_bytes, input_records = self._job_input(vertex, workflow, sizes)
-
+    def _vertex_flows(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+        profile: ProfileAnnotation,
+    ) -> List[_PipelineFlow]:
         flows: List[_PipelineFlow] = []
-        for pipeline in job.pipelines:
+        for pipeline in vertex.job.pipelines:
             p_bytes, p_records = self._pipeline_input(vertex, pipeline, workflow, sizes)
             flows.append(self._pipeline_flow(pipeline, profile, p_bytes, p_records))
+        return flows
+
+    def _dataflow_from_flows(
+        self,
+        vertex: JobVertex,
+        workflow: Workflow,
+        sizes: Dict[str, Tuple[float, float]],
+        profile: ProfileAnnotation,
+        flows: List[_PipelineFlow],
+    ) -> JobDataflow:
+        job = vertex.job
+        input_bytes, input_records = self._job_input(vertex, workflow, sizes)
 
         map_output_records = sum(f.map_output_records for f in flows if not f.is_map_only)
         map_output_bytes = sum(f.map_output_bytes for f in flows if not f.is_map_only)

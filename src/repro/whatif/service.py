@@ -1,0 +1,256 @@
+"""Incremental, memoized cost-estimation service over the What-if engine.
+
+Stubby's practicality hinges on enumeration being cheap relative to what-if
+costing (paper §4–§5): the search costs the *full* workflow for every RRS
+sample of every candidate subplan of every optimization unit, even though one
+sample only perturbs a handful of jobs.  :class:`CostService` owns every cost
+query of the optimizer stack and makes them incremental:
+
+* each job vertex is keyed by a structural cost signature
+  (:meth:`~repro.whatif.model.WhatIfEngine.vertex_cost_signature`: pipelines +
+  configuration + profile content + input-size vector + the producer facts the
+  job model actually reads), so unchanged jobs are served from a cache;
+* only the mutated jobs — and downstream jobs whose input sizes or
+  producer-dependent facts actually changed — are re-costed;
+* the per-level makespan combination is recomputed from the (cheap) per-job
+  estimates, so the returned :class:`~repro.whatif.model.WorkflowCostEstimate`
+  is *exactly* equal to a cold full re-estimation.
+
+The service keeps :class:`CostServiceStats` (queries, cache hits, re-costed
+jobs, effectively-full estimations) that the search surfaces per optimization
+unit and per optimizer run; the counters are the basis of the
+``BENCH_cost_service.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.whatif.jobmodel import estimate_job_time
+from repro.whatif.model import VertexCost, WhatIfEngine, WorkflowCostEstimate
+from repro.workflow.graph import Workflow
+
+#: Default bound on cached per-vertex estimates; old entries are evicted LRU.
+DEFAULT_MAX_CACHE_ENTRIES = 200_000
+
+
+@dataclass
+class CostServiceStats:
+    """Counters describing how much what-if work the service performed.
+
+    ``queries`` counts workflow-level estimate requests — exactly the number
+    of full-workflow what-if computations a non-incremental engine would have
+    performed.  ``full_estimates`` counts the queries that could not reuse
+    *anything*: no cached job estimate and no cached dataflow derivation,
+    i.e. the computations that really were full.
+
+    Job-granularity counters: every query looks up each job once
+    (``job_queries``).  A lookup is served one of three ways —
+
+    * ``job_cache_hits`` — the final estimate itself was cached (nothing
+      recomputed);
+    * ``job_dataflow_hits`` — the expensive dataflow derivation was cached
+      and only the cheap per-phase job model re-ran (a configuration sample
+      moved job-model-only knobs such as reduce tasks or buffer sizes);
+    * ``job_full_recosts`` — the job was derived and costed from scratch.
+
+    ``fallback_queries`` counts profile-free queries answered by the trivial
+    job-count model (neither cached nor worth caching).
+    """
+
+    queries: int = 0
+    fallback_queries: int = 0
+    full_estimates: int = 0
+    job_queries: int = 0
+    job_cache_hits: int = 0
+    job_dataflow_hits: int = 0
+    job_full_recosts: int = 0
+
+    @property
+    def job_cache_misses(self) -> int:
+        """Lookups whose final estimate had to be recomputed."""
+        return self.job_dataflow_hits + self.job_full_recosts
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of job lookups whose estimate was served from the cache."""
+        if self.job_queries == 0:
+            return 0.0
+        return self.job_cache_hits / self.job_queries
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of job lookups that reused cached work at either level."""
+        if self.job_queries == 0:
+            return 0.0
+        return (self.job_cache_hits + self.job_dataflow_hits) / self.job_queries
+
+    @property
+    def jobs_recosted(self) -> int:
+        """Jobs whose estimate was recomputed (at either level)."""
+        return self.job_cache_misses
+
+    @property
+    def effective_full_estimates(self) -> float:
+        """Job-weighted equivalent number of full-workflow estimations.
+
+        From-scratch job derivations divided by the mean workflow size per
+        query: the amount of full-depth costing work actually done,
+        expressed in units of "one cold workflow estimation".
+        """
+        if self.job_queries == 0 or self.queries == 0:
+            return float(self.full_estimates)
+        return self.job_full_recosts * self.queries / self.job_queries
+
+    def snapshot(self) -> "CostServiceStats":
+        """Immutable copy of the current counters."""
+        return replace(self)
+
+    def since(self, before: "CostServiceStats") -> "CostServiceStats":
+        """Counter delta between this snapshot and an earlier one."""
+        return CostServiceStats(
+            queries=self.queries - before.queries,
+            fallback_queries=self.fallback_queries - before.fallback_queries,
+            full_estimates=self.full_estimates - before.full_estimates,
+            job_queries=self.job_queries - before.job_queries,
+            job_cache_hits=self.job_cache_hits - before.job_cache_hits,
+            job_dataflow_hits=self.job_dataflow_hits - before.job_dataflow_hits,
+            job_full_recosts=self.job_full_recosts - before.job_full_recosts,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "queries": self.queries,
+            "fallback_queries": self.fallback_queries,
+            "full_estimates": self.full_estimates,
+            "effective_full_estimates": self.effective_full_estimates,
+            "job_queries": self.job_queries,
+            "job_cache_hits": self.job_cache_hits,
+            "job_dataflow_hits": self.job_dataflow_hits,
+            "job_full_recosts": self.job_full_recosts,
+            "cache_hit_rate": self.cache_hit_rate,
+            "reuse_rate": self.reuse_rate,
+        }
+
+
+class CostService:
+    """Memoizing façade over :class:`WhatIfEngine` for the optimizer stack.
+
+    All cost queries of :class:`~repro.core.search.StubbySearch`,
+    :class:`~repro.core.optimizer.StubbyOptimizer`, and the baseline
+    optimizers go through one service instance, so cache entries are shared
+    across candidate subplans, RRS samples, units, and phases — candidate
+    plans are deep copies, but the content-based vertex signatures make the
+    copies cache-transparent.
+
+    ``enable_cache=False`` turns the service into a pass-through that costs
+    every job cold (used by tests to prove the memoized results are
+    identical).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        engine: Optional[WhatIfEngine] = None,
+        max_cache_entries: int = DEFAULT_MAX_CACHE_ENTRIES,
+        enable_cache: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine or WhatIfEngine(cluster)
+        self.stats = CostServiceStats()
+        self.enable_cache = enable_cache
+        self.max_cache_entries = max(1, max_cache_entries)
+        #: Fine cache: full vertex signature -> exact VertexCost.
+        self._cache: "OrderedDict[Tuple, VertexCost]" = OrderedDict()
+        #: Coarse cache: dataflow signature -> (JobDataflow, contributions);
+        #: reused when only job-model config knobs moved.
+        self._dataflow_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+    # ------------------------------------------------------------------ API
+    def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
+        """Estimate ``workflow``, reusing cached per-job work where valid."""
+        self.stats.queries += 1
+        if any(not vertex.annotations.has_profile for vertex in workflow.jobs):
+            self.stats.fallback_queries += 1
+            return self.engine.job_count_estimate(workflow)
+
+        # Per-query tallies: [estimate hits, dataflow hits, full recosts].
+        tallies = [0, 0, 0]
+        estimate = self.engine.run_costing(
+            workflow, lambda vertex, wf, sizes: self._cost_vertex_cached(vertex, wf, sizes, tallies)
+        )
+
+        estimate_hits, dataflow_hits, full_recosts = tallies
+        self.stats.job_queries += estimate_hits + dataflow_hits + full_recosts
+        self.stats.job_cache_hits += estimate_hits
+        self.stats.job_dataflow_hits += dataflow_hits
+        self.stats.job_full_recosts += full_recosts
+        if estimate_hits == 0 and dataflow_hits == 0:
+            self.stats.full_estimates += 1
+        return estimate
+
+    def _cost_vertex_cached(self, vertex, workflow, sizes, tallies) -> VertexCost:
+        """Cache-aware drop-in for :meth:`WhatIfEngine.cost_vertex`.
+
+        Plugged into the engine's shared :meth:`~WhatIfEngine.run_costing`
+        traversal, so the service cannot drift from the cold path.
+        """
+        engine = self.engine
+        dataflow_sig = engine.vertex_dataflow_signature(vertex, workflow, sizes)
+        full_sig = (dataflow_sig, engine.jobmodel_config_key(vertex.job.config))
+        costed = self._lookup(self._cache, full_sig)
+        if costed is not None:
+            tallies[0] += 1
+            return costed
+        derived = self._lookup(self._dataflow_cache, dataflow_sig)
+        if derived is not None:
+            tallies[1] += 1
+        else:
+            tallies[2] += 1
+            derived = engine.derive_vertex_dataflow(vertex, workflow, sizes)
+            self._store(self._dataflow_cache, dataflow_sig, derived)
+        dataflow, contributions = derived
+        estimate = estimate_job_time(dataflow, vertex.job.config, self.cluster)
+        costed = VertexCost(estimate=estimate, output_contributions=contributions)
+        self._store(self._cache, full_sig, costed)
+        return costed
+
+    def estimate_plan(self, plan) -> WorkflowCostEstimate:
+        """Convenience: estimate a :class:`~repro.core.plan.Plan`'s workflow."""
+        return self.estimate_workflow(plan.workflow)
+
+    # ------------------------------------------------------------ cache mgmt
+    def invalidate(self) -> None:
+        """Drop every cached per-job estimate and dataflow (stats are kept)."""
+        self._cache.clear()
+        self._dataflow_cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached per-vertex estimates."""
+        return len(self._cache)
+
+    def _lookup(self, cache: "OrderedDict", signature: Tuple):
+        if not self.enable_cache:
+            return None
+        entry = cache.get(signature)
+        if entry is not None:
+            cache.move_to_end(signature)
+        return entry
+
+    def _store(self, cache: "OrderedDict", signature: Tuple, entry) -> None:
+        if not self.enable_cache:
+            return
+        cache[signature] = entry
+        if len(cache) > self.max_cache_entries:
+            cache.popitem(last=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostService(entries={len(self._cache)}, queries={self.stats.queries}, "
+            f"hit_rate={self.stats.cache_hit_rate:.2f})"
+        )

@@ -77,6 +77,38 @@ def test_random_workflow_equivalence(seed, cluster, workflow_generator, differen
 
 
 @pytest.mark.equivalence
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_diamond_shared_sink_equivalence(seed, cluster, workflow_generator, differential):
+    """The fixed diamond-fan-in / shared-scan-sink shape stays equivalent.
+
+    The shape combines a multi-input (fan-in) pipeline, two shared-scan
+    packing opportunities at different depths, and vertical chains around
+    the fan-in — corners the random DAGs rarely hit all at once.
+    """
+    generated = workflow_generator.diamond_shared_sink(seed)
+    assert generated.workflow.num_jobs == 5
+    for variant_name, factory in VARIANTS:
+        result = factory(cluster).optimize(generated.plan)
+        report = differential.verify_result(
+            generated.workflow, generated.base_datasets, result
+        )
+        assert report.equivalent, f"[diamond seed={seed}, {variant_name}]\n{report.describe()}"
+
+
+@pytest.mark.equivalence
+def test_diamond_shared_sink_is_deterministic(workflow_generator):
+    first = workflow_generator.diamond_shared_sink(SEEDS[0])
+    second = workflow_generator.diamond_shared_sink(SEEDS[0])
+    assert [v.name for v in first.workflow.jobs] == [v.name for v in second.workflow.jobs]
+    for name, dataset in first.base_datasets.items():
+        assert dataset.all_records() == second.base_datasets[name].all_records()
+    # The fan-in job really reads both diamond branches through one pipeline.
+    fan_in = first.workflow.job(f"D{SEEDS[0]}_J2")
+    assert len(fan_in.job.pipelines) == 1
+    assert len(fan_in.job.pipelines[0].input_datasets) == 2
+
+
+@pytest.mark.equivalence
 def test_generator_is_deterministic(workflow_generator):
     first = workflow_generator.generate(SEEDS[0])
     second = workflow_generator.generate(SEEDS[0])

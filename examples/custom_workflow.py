@@ -1,16 +1,24 @@
 """Bring your own workflow: the program-based interface.
 
-Stubby optimizes *any* annotated MapReduce workflow, regardless of how it was
-generated (the paper's "interface spectrum").  This example plays the role of
-a workflow generator: it writes plain map/reduce callables for a two-job
-sessionization pipeline, wires them into a workflow with ``simple_job``,
-attaches schema annotations describing the key compositions, and hands the
-plan to Stubby.  The optimizer packs the second job into the first (its
-grouping key flows unchanged) and tunes the configurations.
+What it demonstrates
+    Stubby optimizes *any* annotated MapReduce workflow, regardless of how
+    it was generated (the paper's "interface spectrum").  This example
+    plays the role of a workflow generator: it writes plain map/reduce
+    callables for a two-job sessionization pipeline, wires them into a
+    workflow with ``simple_job``, attaches schema annotations describing
+    the key compositions, and hands the plan to Stubby.  The optimizer
+    packs the second job into the first (its grouping key flows unchanged)
+    and tunes the configurations.
+
+What output to expect
+    A ``Jobs before/after: 2 -> 1`` line, the applied-transformation list
+    (intra- then inter-job vertical packing plus configuration changes),
+    and the final one-job plan description reading ``clicks`` and writing
+    ``user_sessions``.
 
 Run with::
 
-    python examples/custom_workflow.py
+    PYTHONPATH=src python examples/custom_workflow.py
 """
 
 from repro import ClusterSpec, StubbyOptimizer

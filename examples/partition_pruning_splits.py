@@ -1,16 +1,30 @@
 """Partition-function transformation and partition pruning (US workload).
 
-The User-defined Logical Splits workflow has one producer job and two
-consumers that each analyse a different age group of the producer's output.
-Because the consumers expose their predicates through filter annotations and
-the filtered field is part of the producer's map-output key, Stubby's
-partition-function transformation switches the producer to range partitioning
-on ``age`` and lets each consumer read only the partitions overlapping its
-filter — trading nothing for a large reduction in intermediate data read.
+What it demonstrates
+    The User-defined Logical Splits workflow has one producer job and two
+    consumers that each analyse a different age group of the producer's
+    output.  Because the consumers expose their predicates through filter
+    annotations and the filtered field is part of the producer's map-output
+    key, Stubby's partition-function transformation switches the producer
+    to range partitioning on ``age`` and lets each consumer read only the
+    partitions overlapping its filter — trading nothing for a large
+    reduction in intermediate data read.
+
+What output to expect
+    The producer's partition function after optimization (``kind: range``
+    on ``('age',)`` with its split points), the disjoint partition index
+    sets each consumer reads, and a closing comparison in which Stubby's
+    plan reads about half the consumer-side records and runs several times
+    faster than the unoptimized plan::
+
+        US_J2 reads partitions: (1, 2)
+        US_J3 reads partitions: (3, 4, 5, 6)
+        unoptimized  runtime    4289s, records read by the consumer jobs: 300
+        Stubby       runtime     553s, records read by the consumer jobs: 150
 
 Run with::
 
-    python examples/partition_pruning_splits.py
+    PYTHONPATH=src python examples/partition_pruning_splits.py
 """
 
 from repro import ClusterSpec, StubbyOptimizer

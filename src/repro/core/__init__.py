@@ -1,13 +1,29 @@
 """Stubby's core: plan representation, transformations, search, and the optimizer."""
 
 from repro.core.optimizer import OptimizationResult, StubbyOptimizer
+from repro.core.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    resolve_backend,
+)
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch, RRSResult
 
 __all__ = [
+    "ExecutionBackend",
     "OptimizationResult",
+    "ProcessBackend",
+    "SerialBackend",
     "StubbyOptimizer",
+    "ThreadBackend",
     "Plan",
     "RecursiveRandomSearch",
     "RRSResult",
+    "available_backends",
+    "create_backend",
+    "resolve_backend",
 ]

@@ -17,9 +17,16 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cluster import ClusterSpec
+from repro.core.parallel import SideChannel
 from repro.whatif.service import CostService, CostServiceStats
 
-__all__ = ["CostService", "CostServiceStats", "StatsWindow", "ensure_cost_service"]
+__all__ = [
+    "CostService",
+    "CostServiceStats",
+    "StatsWindow",
+    "cost_service_side_channel",
+    "ensure_cost_service",
+]
 
 
 def ensure_cost_service(
@@ -43,6 +50,43 @@ def ensure_cost_service(
     return service
 
 
+def cost_service_side_channel(service: CostService) -> SideChannel:
+    """Wire a :class:`CostService` into a backend session's side channel.
+
+    * ``worker_init`` (forked workers only) starts the worker's cache export
+      log, so new entries can be merged back to the parent on join.
+    * ``chunk_begin``/``chunk_end`` bracket each worker chunk with a fresh
+      attribution sink on the *worker's* thread, capturing the chunk's exact
+      stats delta without reading the (concurrently moving) global counters.
+    * ``chunk_absorb_shared`` (thread backend) re-attributes the delta to the
+      calling thread's sinks only — the shared global counters already saw
+      the work live.
+    * ``chunk_absorb_foreign`` (process backend) folds the delta in fully:
+      the worker's queries never touched this process's counters.
+    * ``final_export``/``final_absorb`` merge the worker's new cache entries
+      into the parent cache when the session joins.
+    """
+
+    def chunk_begin() -> CostServiceStats:
+        sink = CostServiceStats()
+        service._sink_stack().append(sink)
+        return sink
+
+    def chunk_end(sink: CostServiceStats) -> CostServiceStats:
+        service._sink_stack().pop()
+        return sink
+
+    return SideChannel(
+        worker_init=service.start_export_log,
+        chunk_begin=chunk_begin,
+        chunk_end=chunk_end,
+        chunk_absorb_shared=service.apply_sink_only_delta,
+        chunk_absorb_foreign=service.apply_external_delta,
+        final_export=service.export_log_entries,
+        final_absorb=service.absorb_entries,
+    )
+
+
 class StatsWindow:
     """Context manager capturing a :class:`CostServiceStats` delta.
 
@@ -59,9 +103,9 @@ class StatsWindow:
         self._before: Optional[CostServiceStats] = None
 
     def __enter__(self) -> "StatsWindow":
-        self._before = self.service.stats.snapshot()
+        self._before = self.service.stats_snapshot()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         assert self._before is not None
-        self.delta = self.service.stats.since(self._before)
+        self.delta = self.service.stats_snapshot().since(self._before)

@@ -18,7 +18,7 @@ later unit — exactly the dynamic behaviour of Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.core.plan import Plan
 
@@ -92,6 +92,66 @@ class OptimizationUnitGenerator:
         unit = OptimizationUnit(producers=tuple(producers), consumers=tuple(consumers))
         self._emitted.append(unit)
         return unit
+
+    def independent_subunits(self, plan: Plan, unit: OptimizationUnit) -> List[OptimizationUnit]:
+        """Split a unit into sub-units that share no workflow vertices.
+
+        Two jobs of the unit belong to the same sub-unit when they touch a
+        common dataset vertex (one reads what the other writes, or they read
+        the same input).  Every transformation's applications span jobs
+        connected through datasets — vertical packing follows produce/consume
+        edges, horizontal packing requires a shared input — so the candidate
+        subplans of different sub-units rewrite disjoint parts of the
+        workflow graph and can be enumerated, costed, and chosen
+        independently; the parallel search fans them out and composes the
+        chosen rewrites afterwards (see ``docs/search.md``).
+
+        Sub-units are returned in a deterministic order (by each sub-unit's
+        first producer in the original unit's producer order), which the
+        composition step relies on for backend-independent results.
+        """
+        workflow = plan.workflow
+        jobs = list(unit.jobs)
+        parent: Dict[str, str] = {name: name for name in jobs}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        touched: Dict[str, str] = {}
+        for name in jobs:
+            job = workflow.job(name).job
+            for dataset in list(job.input_datasets) + list(job.output_datasets):
+                if dataset in touched:
+                    union(touched[dataset], name)
+                else:
+                    touched[dataset] = name
+
+        groups: Dict[str, List[str]] = {}
+        for name in jobs:
+            groups.setdefault(find(name), []).append(name)
+
+        producer_set = set(unit.producers)
+        subunits: List[OptimizationUnit] = []
+        for members in groups.values():
+            member_set = set(members)
+            producers = tuple(n for n in unit.producers if n in member_set)
+            consumers = tuple(n for n in unit.consumers if n in member_set)
+            if not producers:
+                # A consumer group with no producer cannot arise: every
+                # consumer shares its input dataset with a unit producer.
+                producers = tuple(n for n in members if n not in producer_set)
+            subunits.append(OptimizationUnit(producers=producers, consumers=consumers))
+        order = {name: index for index, name in enumerate(unit.jobs)}
+        subunits.sort(key=lambda sub: min(order[n] for n in sub.jobs))
+        return subunits
 
     def mark_handled(self, plan: Plan, unit: OptimizationUnit) -> None:
         """Record which of the unit's producers still exist and are now handled.

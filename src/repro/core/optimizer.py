@@ -43,6 +43,8 @@ class OptimizationResult:
     #: Cost-service counters for this run (what-if queries, cache hits,
     #: re-costed jobs); ``None`` when the optimizer bypassed the service.
     cost_stats: Optional[CostServiceStats] = None
+    #: Execution backend the search ran on (e.g. "serial:1", "process:4").
+    search_backend: str = "serial:1"
 
     @property
     def num_jobs(self) -> int:
@@ -74,6 +76,7 @@ class StubbyOptimizer:
         optimize_configurations: bool = True,
         seed: int = 17,
         cost_service: Optional[CostService] = None,
+        backend=None,
     ) -> None:
         # Phases are validated lazily, when optimize() actually uses them, so
         # an optimizer can be constructed from not-yet-complete configuration
@@ -99,6 +102,7 @@ class StubbyOptimizer:
             seed=seed,
             optimize_configurations=optimize_configurations,
             cost_service=self.costs,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ API
@@ -132,6 +136,7 @@ class StubbyOptimizer:
             optimizer=self._variant_for(selected),
             unit_reports=reports,
             cost_stats=window.delta,
+            search_backend=self.search.backend.spec,
         )
 
     @property

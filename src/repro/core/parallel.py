@@ -1,0 +1,498 @@
+"""Pluggable execution backends for the parallel unit search.
+
+Candidates enumerated inside one optimization unit — and the RRS
+configuration samples costed for each candidate — are independent of each
+other: they read the shared :class:`~repro.whatif.service.CostService` but
+never each other's results.  This module provides the machinery
+:class:`~repro.core.search.StubbySearch` uses to fan that work out:
+
+* :class:`SerialBackend` — the reference implementation: a plain loop.
+* :class:`ThreadBackend` — a thread pool sharing the parent's cost-service
+  cache (made safe by the service's lock-striped shards).  Under CPython's
+  GIL this mostly provides *concurrency*, not CPU parallelism; it exists for
+  free-threaded builds and as the cheapest way to exercise the concurrent
+  code paths.
+* :class:`ProcessBackend` — ``fork``-based worker processes.  Workflow
+  operators are closures and therefore not picklable, so workers are forked
+  *after* the unit's candidate plans exist and inherit them by memory
+  sharing; only plain-data requests (indices, configuration points) and
+  plain-data responses (costs, settings, stats counters) cross the pipe.
+  Each worker keeps a private cost-service shard that is merged back into
+  the parent's cache when the session ends ("merge on join").
+
+Determinism contract: a backend only changes *where* a task runs, never its
+result.  The cost service guarantees bit-identical estimates with or without
+cache reuse, every task derives its RNG from a stable per-candidate key, and
+the search consumes results in task order with index-based tie-breaking —
+so every backend, at any worker count, produces byte-for-byte the same
+optimizer decisions as :class:`SerialBackend`.  The property tests in
+``tests/test_parallel_search.py`` enforce this.
+
+Backends are selected by spec strings — ``"serial"``, ``"thread:4"``,
+``"process:4"`` — resolved by :func:`create_backend`; components that accept
+a ``backend=`` argument also honour the ``STUBBY_SEARCH_BACKEND``
+environment variable when none is given.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BackendSession",
+    "DEFAULT_WORKERS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SideChannel",
+    "ThreadBackend",
+    "available_backends",
+    "create_backend",
+    "resolve_backend",
+]
+
+#: Worker count used when a spec names a backend without an explicit count.
+DEFAULT_WORKERS = 4
+
+#: Environment variable consulted when no backend is passed explicitly.
+BACKEND_ENV_VAR = "STUBBY_SEARCH_BACKEND"
+
+
+@dataclass
+class SideChannel:
+    """Hooks letting a session move cost-service state between workers.
+
+    All callables are optional; a backend only invokes the ones that apply
+    to its memory model.
+
+    ``chunk_begin``/``chunk_end`` bracket one worker's share of a
+    :meth:`BackendSession.run` call: ``chunk_begin()`` returns an opaque
+    token in the worker, ``chunk_end(token)`` turns it into a *picklable*
+    payload (for the cost service: the stats delta the chunk produced).
+    The parent then absorbs the payload with ``chunk_absorb_shared`` when
+    the worker shared the parent's memory (thread backend — the global
+    counters already saw the work, only thread-local attribution sinks need
+    it) or ``chunk_absorb_foreign`` when it did not (process backend — the
+    parent's counters never saw the work at all).
+
+    ``final_export``/``final_absorb`` run once per worker at session end:
+    the worker exports its privately accumulated state (cache entries), the
+    parent merges it — the process backend's merge-on-join.
+
+    ``worker_init`` runs once in each *forked* worker before it executes any
+    request (e.g. to start the cost service's cache export log); workers
+    sharing the parent's memory never invoke it.
+    """
+
+    worker_init: Optional[Callable[[], None]] = None
+    chunk_begin: Optional[Callable[[], Any]] = None
+    chunk_end: Optional[Callable[[Any], Any]] = None
+    chunk_absorb_shared: Optional[Callable[[Any], None]] = None
+    chunk_absorb_foreign: Optional[Callable[[Any], None]] = None
+    final_export: Optional[Callable[[], Any]] = None
+    final_absorb: Optional[Callable[[Any], None]] = None
+
+
+class BackendSession(ABC):
+    """One fan-out scope: a batch-oriented ``request -> response`` executor.
+
+    Sessions exist because the process backend must fork *after* the data
+    its workers need (candidate plans) has been created: the search opens a
+    session per optimization unit, issues any number of :meth:`run` calls
+    (candidate costings, RRS sample generations), and closes it, at which
+    point worker state is merged back.  ``run`` preserves request order in
+    its response list regardless of how requests were distributed.
+    """
+
+    @abstractmethod
+    def run(self, requests: Sequence[Any]) -> List[Any]:
+        """Execute every request and return responses in request order."""
+
+    def close(self) -> None:
+        """Tear the session down (merge worker state, reap workers)."""
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ExecutionBackend(ABC):
+    """Factory of :class:`BackendSession` objects for one execution style."""
+
+    #: Spec name ("serial" / "thread" / "process").
+    name: str = "backend"
+    #: True when workers share the parent's address space (and therefore the
+    #: parent's cost-service cache and stats counters).
+    shares_memory: bool = True
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.workers = workers
+
+    @abstractmethod
+    def session(
+        self,
+        worker_fn: Callable[[Any], Any],
+        side_channel: Optional[SideChannel] = None,
+    ) -> BackendSession:
+        """Open a fan-out session executing ``worker_fn`` per request."""
+
+    @property
+    def spec(self) -> str:
+        """The spec string reproducing this backend (``name:workers``)."""
+        return f"{self.name}:{self.workers}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+# ---------------------------------------------------------------------------
+# Serial
+# ---------------------------------------------------------------------------
+
+
+class _SerialSession(BackendSession):
+    def __init__(self, worker_fn: Callable[[Any], Any]) -> None:
+        self._worker_fn = worker_fn
+
+    def run(self, requests: Sequence[Any]) -> List[Any]:
+        return [self._worker_fn(request) for request in requests]
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference backend: every request runs inline, in order."""
+
+    name = "serial"
+    shares_memory = True
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers=1)
+
+    def session(self, worker_fn, side_channel=None) -> BackendSession:
+        # Inline execution hits the parent's service directly; no side
+        # channel traffic is needed (or possible — there is no "elsewhere").
+        return _SerialSession(worker_fn)
+
+
+# ---------------------------------------------------------------------------
+# Threads
+# ---------------------------------------------------------------------------
+
+
+class _ThreadSession(BackendSession):
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        workers: int,
+        side_channel: Optional[SideChannel],
+    ) -> None:
+        self._worker_fn = worker_fn
+        self._side = side_channel
+        self._max_workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="stubby-search"
+        )
+
+    def run(self, requests: Sequence[Any]) -> List[Any]:
+        if len(requests) <= 1:
+            return [self._worker_fn(request) for request in requests]
+
+        side = self._side
+
+        def run_chunk(chunk: List[Tuple[int, Any]]):
+            token = side.chunk_begin() if side and side.chunk_begin else None
+            try:
+                results = [(index, self._worker_fn(request)) for index, request in chunk]
+            finally:
+                # Balance the sink stack even when a task raises, so a
+                # caller that catches the error and reuses the session does
+                # not get later chunks double-attributed.
+                payload = side.chunk_end(token) if side and side.chunk_end else None
+            return results, payload
+
+        chunks = _round_robin(list(enumerate(requests)), self._max_workers)
+        responses: List[Any] = [None] * len(requests)
+        for results, payload in self._pool.map(run_chunk, chunks):
+            for index, response in results:
+                responses[index] = response
+            if payload is not None and side and side.chunk_absorb_shared:
+                # Worker threads updated the shared counters live; the
+                # payload only re-attributes the delta to the *calling*
+                # thread's attribution sinks (per-candidate stats).
+                side.chunk_absorb_shared(payload)
+        return responses
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool backend sharing the parent's cost-service cache."""
+
+    name = "thread"
+    shares_memory = True
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        super().__init__(workers=workers)
+
+    def session(self, worker_fn, side_channel=None) -> BackendSession:
+        return _ThreadSession(worker_fn, self.workers, side_channel)
+
+
+# ---------------------------------------------------------------------------
+# Processes (fork)
+# ---------------------------------------------------------------------------
+
+
+def _process_worker_main(conn, worker_fn, side_channel) -> None:
+    """Loop of one forked worker: execute request chunks until told to stop.
+
+    Runs in the child process.  Everything the worker needs beyond the
+    per-chunk requests (candidate plans, the cost service, the search
+    object) was inherited through ``fork`` — requests and responses are the
+    only data crossing the pipe, so they must be plain picklable values.
+    """
+    side = side_channel
+    try:
+        if side and side.worker_init:
+            side.worker_init()
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                payload = None
+                if side and side.final_export:
+                    payload = side.final_export()
+                conn.send(("final", payload))
+                break
+            _, chunk = message
+            token = side.chunk_begin() if side and side.chunk_begin else None
+            failure = None
+            try:
+                results = [(index, worker_fn(request)) for index, request in chunk]
+            except BaseException:
+                failure = traceback.format_exc()
+            finally:
+                payload = side.chunk_end(token) if side and side.chunk_end else None
+            if failure is not None:
+                conn.send(("error", failure))
+                break
+            conn.send(("chunk", results, payload))
+    except EOFError:  # pragma: no cover - parent died; nothing left to do
+        pass
+    finally:
+        conn.close()
+        # Exit without running the parent's atexit/pytest machinery the
+        # child inherited through fork.
+        os._exit(0)
+
+
+class _ForkSession(BackendSession):
+    """Fork-pool session: workers inherit memory, pipes carry plain data."""
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        workers: int,
+        side_channel: Optional[SideChannel],
+    ) -> None:
+        self._worker_fn = worker_fn
+        self._requested_workers = workers
+        self._side = side_channel
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: List[Tuple[Any, Any]] = []  # (connection, process)
+        self._closed = False
+
+    # Workers are forked lazily, on the first run() call, so the session
+    # captures the freshest possible parent state (e.g. cache entries from
+    # work done between session creation and first fan-out).
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        for _ in range(self._requested_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_process_worker_main,
+                args=(child_conn, self._worker_fn, self._side),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((parent_conn, process))
+
+    def run(self, requests: Sequence[Any]) -> List[Any]:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if len(requests) <= 1:
+            # Not worth a pipe round-trip; inline execution is identical by
+            # the determinism contract.
+            return [self._worker_fn(request) for request in requests]
+        self._ensure_workers()
+
+        indexed = list(enumerate(requests))
+        chunks = _round_robin(indexed, len(self._workers))
+        active: List[Tuple[Any, Any]] = []
+        for (conn, process), chunk in zip(self._workers, chunks):
+            if not chunk:
+                continue
+            conn.send(("run", chunk))
+            active.append((conn, process))
+
+        side = self._side
+        responses: List[Any] = [None] * len(requests)
+        errors: List[str] = []
+        for conn, process in active:
+            try:
+                message = conn.recv()
+            except (EOFError, ConnectionError, OSError):
+                # The worker died without replying (OOM kill, segfault,
+                # external signal) — reap it so the exit code is readable
+                # and fail the run with an attributable error.
+                process.join(timeout=5)
+                errors.append(
+                    f"worker pid {process.pid} died without replying "
+                    f"(exit code {process.exitcode})"
+                )
+                continue
+            if message[0] == "error":
+                errors.append(message[1])
+                continue
+            _, results, payload = message
+            for index, response in results:
+                responses[index] = response
+            if payload is not None and side and side.chunk_absorb_foreign:
+                # The parent's counters never saw the child's queries: fold
+                # the whole delta in (global stats + attribution sinks).
+                side.chunk_absorb_foreign(payload)
+        if errors:
+            self.close()
+            raise RuntimeError(
+                "parallel search worker failed:\n" + "\n".join(errors)
+            )
+        return responses
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        side = self._side
+        for conn, process in self._workers:
+            try:
+                conn.send(("stop",))
+                message = conn.recv()
+                if message[0] == "final" and message[1] is not None:
+                    if side and side.final_absorb:
+                        side.final_absorb(message[1])
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            finally:
+                conn.close()
+        for _conn, process in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        self._workers = []
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-based process backend with per-worker cache shards.
+
+    Requires the ``fork`` start method (POSIX).  Where it is unavailable the
+    backend degrades to serial in-process execution — results are identical
+    by the determinism contract, only the wall-clock benefit is lost.
+    """
+
+    name = "process"
+    shares_memory = False
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        super().__init__(workers=workers)
+        self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def spec(self) -> str:
+        """Reports the serial degradation so results never claim parallelism
+        that did not happen (e.g. in ``OptimizationResult.search_backend``)."""
+        if not self._fork_available:  # pragma: no cover - non-POSIX only
+            return f"process:{self.workers} (serial fallback: no fork)"
+        return f"process:{self.workers}"
+
+    def session(self, worker_fn, side_channel=None) -> BackendSession:
+        if not self._fork_available:  # pragma: no cover - non-POSIX only
+            return _SerialSession(worker_fn)
+        return _ForkSession(worker_fn, self.workers, side_channel)
+
+
+# ---------------------------------------------------------------------------
+# Construction / resolution
+# ---------------------------------------------------------------------------
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered backend kinds."""
+    return tuple(_BACKENDS)
+
+
+def create_backend(spec: str, workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend from a spec string (``"process"``, ``"thread:8"``…).
+
+    An explicit ``workers`` argument overrides a count embedded in the spec.
+    """
+    name, _, count = spec.strip().partition(":")
+    name = name.strip().lower()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown search backend {name!r}; expected one of {sorted(_BACKENDS)}"
+        )
+    if workers is None:
+        if count:
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ValueError(f"bad worker count in backend spec {spec!r}")
+        else:
+            workers = 1 if name == "serial" else DEFAULT_WORKERS
+    return _BACKENDS[name](workers=workers)
+
+
+def resolve_backend(backend) -> ExecutionBackend:
+    """Normalize a backend argument into an :class:`ExecutionBackend`.
+
+    Accepts an existing backend instance, a spec string, or ``None`` — the
+    latter consults the ``STUBBY_SEARCH_BACKEND`` environment variable and
+    finally falls back to :class:`SerialBackend`, so an entire optimizer
+    stack can be switched from the outside without touching call sites.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial"
+    if isinstance(backend, str):
+        return create_backend(backend)
+    raise TypeError(
+        "backend must be an ExecutionBackend, a spec string like 'process:4', or None"
+    )
+
+
+def _round_robin(indexed: List[Tuple[int, Any]], buckets: int) -> List[List[Tuple[int, Any]]]:
+    """Distribute (index, item) pairs across ``buckets`` deterministically."""
+    buckets = max(1, buckets)
+    chunks: List[List[Tuple[int, Any]]] = [[] for _ in range(buckets)]
+    for position, pair in enumerate(indexed):
+        chunks[position % buckets].append(pair)
+    return chunks

@@ -9,19 +9,32 @@ space of each enumerated subplan (paper §4.2).  RRS alternates two phases:
   best point, re-centring on improvements and shrinking on failures, until
   the neighbourhood collapses; then restart exploration.
 
+Sampling is **generation-batched**: each phase first draws a whole
+generation of sample points from the RNG, then hands the generation to the
+objective in one call (``objective_batch``), and only then folds the values
+back into the search state.  Because every point of a generation is drawn
+before any of them is evaluated, the points cannot depend on each other's
+values — which is exactly what lets the parallel unit search dispatch a
+whole generation of what-if costings at once
+(:mod:`repro.core.parallel`) while staying bit-identical to serial
+evaluation.  Within a generation, ties are broken by sample index.
+
 The implementation is deterministic given its RNG seed, which keeps the
-optimizer's output reproducible across runs.
+optimizer's output reproducible across runs, backends, and worker counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.common.rng import DeterministicRNG
 from repro.mapreduce.config import ConfigurationSpace
 
 Objective = Callable[[Mapping[str, object]], float]
+#: Evaluate a whole generation of points at once; must return one value per
+#: point, in point order.
+BatchObjective = Callable[[Sequence[Mapping[str, object]]], Sequence[float]]
 
 
 @dataclass
@@ -62,16 +75,29 @@ class RecursiveRandomSearch:
     def search(
         self,
         space: ConfigurationSpace,
-        objective: Objective,
+        objective: Optional[Objective] = None,
         initial_point: Optional[Mapping[str, object]] = None,
         rng: Optional[DeterministicRNG] = None,
+        objective_batch: Optional[BatchObjective] = None,
     ) -> RRSResult:
         """Run RRS and return the best point found.
 
         ``initial_point`` (typically the job's current configuration) is
         always evaluated first so the search can never return something worse
         than the starting configuration.
+
+        Exactly one of ``objective`` (evaluated point-by-point) or
+        ``objective_batch`` (evaluated one generation at a time) must be
+        provided; with both given, ``objective_batch`` wins.  The two are
+        interchangeable as long as ``objective_batch(points)`` returns
+        ``[objective(p) for p in points]`` — the search draws every point of
+        a generation before evaluating any of them either way.
         """
+        if objective is None and objective_batch is None:
+            raise ValueError("search() needs an objective or an objective_batch")
+        evaluate: BatchObjective = objective_batch or (
+            lambda points: [objective(point) for point in points]
+        )
         rng = rng or DeterministicRNG(self.seed)
         evaluations = 0
         trajectory: List[float] = []
@@ -79,52 +105,62 @@ class RecursiveRandomSearch:
         best_point: Dict[str, object] = {}
         best_value = float("inf")
 
+        def run_generation(points: Sequence[Mapping[str, object]]) -> List[float]:
+            nonlocal evaluations
+            values = list(evaluate(points))
+            if len(values) != len(points):
+                raise ValueError(
+                    f"objective_batch returned {len(values)} values for {len(points)} points"
+                )
+            evaluations += len(values)
+            trajectory.extend(values)
+            return values
+
         if not space.dimensions:
-            value = objective({})
-            return RRSResult(best_point={}, best_value=value, evaluations=1, trajectory=[value])
+            value = run_generation([{}])[0]
+            return RRSResult(best_point={}, best_value=value, evaluations=evaluations, trajectory=trajectory)
 
         if initial_point is not None:
             candidate = space.clamp(initial_point)
-            value = objective(candidate)
-            evaluations += 1
-            trajectory.append(value)
+            value = run_generation([candidate])[0]
             best_point, best_value = candidate, value
 
         for _ in range(self.restarts):
-            # Exploration phase.
+            # Exploration generation: draw everything, then evaluate at once.
+            explore_points = [space.sample(rng) for _ in range(self.exploration_samples)]
+            explore_values = run_generation(explore_points)
             region_center = None
             region_value = float("inf")
-            for _ in range(self.exploration_samples):
-                candidate = space.sample(rng)
-                value = objective(candidate)
-                evaluations += 1
-                trajectory.append(value)
+            for point, value in zip(explore_points, explore_values):
                 if value < region_value:
-                    region_center, region_value = candidate, value
+                    region_center, region_value = point, value
                 if value < best_value:
-                    best_point, best_value = candidate, value
+                    best_point, best_value = point, value
 
             if region_center is None:
                 continue
 
-            # Exploitation phase: recursive re-centring/shrinking.  The round
+            # Exploitation: each round samples one generation around the
+            # round's center, then re-centres on the generation's best (ties
+            # by sample index) or shrinks when nothing improved.  The round
             # cap bounds the run when the objective keeps improving slightly.
             radius = self.initial_radius
             center, center_value = dict(region_center), region_value
             rounds = 0
             while radius >= self.min_radius and rounds < 12:
                 rounds += 1
+                exploit_points = [
+                    space.sample_near(center, radius, rng)
+                    for _ in range(self.exploitation_samples)
+                ]
+                exploit_values = run_generation(exploit_points)
                 improved = False
-                for _ in range(self.exploitation_samples):
-                    candidate = space.sample_near(center, radius, rng)
-                    value = objective(candidate)
-                    evaluations += 1
-                    trajectory.append(value)
+                for point, value in zip(exploit_points, exploit_values):
                     if value < center_value:
-                        center, center_value = dict(candidate), value
+                        center, center_value = dict(point), value
                         improved = True
                     if value < best_value:
-                        best_point, best_value = dict(candidate), value
+                        best_point, best_value = dict(point), value
                 if not improved:
                     radius *= self.shrink_factor
 

@@ -6,14 +6,30 @@ the partition-function transformation) are applied within dynamically
 generated optimization units; in the second phase the Horizontal-group
 transformations are applied the same way.  Within each unit:
 
-1. all combinations of the (non-configuration) transformations applicable to
-   the unit's jobs are enumerated exhaustively, producing the unit's
+1. the unit is split into *independent sub-units* — connected components of
+   jobs sharing dataset vertices
+   (:meth:`~repro.core.optimization_unit.OptimizationUnitGenerator.independent_subunits`)
+   — whose candidate subplans rewrite disjoint parts of the graph;
+2. all combinations of the (non-configuration) transformations applicable to
+   each sub-unit's jobs are enumerated exhaustively, producing the sub-unit's
    candidate subplans ``p1..pn`` (Figure 10);
-2. Recursive Random Search finds the best configuration transformation for
-   every candidate subplan, using the What-if engine to cost each sampled
-   configuration;
-3. the candidate with the lowest estimated cost is retained and the search
-   moves to the next unit.
+3. Recursive Random Search finds the best configuration transformation for
+   every candidate subplan, using the shared cost service to cost each
+   sampled configuration;
+4. per sub-unit, the candidate with the lowest estimated cost is retained
+   (ties broken by candidate index); the chosen rewrites are composed in
+   sub-unit order and the search moves to the next unit.
+
+Steps 2–3 are independent across candidates and sub-units, so they fan out
+on a pluggable :class:`~repro.core.parallel.ExecutionBackend`: with several
+candidates in flight the backend maps whole candidate costings; with a
+single candidate it maps the RRS sample generations instead (the batched
+``objective_batch`` of :class:`~repro.core.rrs.RecursiveRandomSearch`).
+Every backend produces bit-identical decisions — same chosen subplans, same
+settings, same costs — at any worker count: candidates derive their RNG from
+a stable key, results are consumed in enumeration order, and the cost
+service guarantees estimates identical with or without cache reuse.  See
+``docs/search.md``.
 """
 
 from __future__ import annotations
@@ -23,8 +39,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.common.rng import DeterministicRNG
-from repro.core.costing import CostService, StatsWindow, ensure_cost_service
+from repro.core.costing import (
+    CostService,
+    CostServiceStats,
+    cost_service_side_channel,
+    ensure_cost_service,
+)
 from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
+from repro.core.parallel import BackendSession, ExecutionBackend, resolve_backend
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
 from repro.core.transformations.base import Transformation, TransformationApplication
@@ -35,6 +57,9 @@ from repro.mapreduce.config import ConfigDimension, ConfigurationSpace
 #: (paper §4.2) the number of unique subplans per unit is small.
 MAX_SUBPLANS_PER_UNIT = 24
 MAX_ENUMERATION_DEPTH = 6
+#: Cap on the composed cross-product combinations scored when a unit was
+#: split into several independent sub-units.
+MAX_COMPOSED_COMBINATIONS = 64
 
 
 @dataclass
@@ -43,14 +68,22 @@ class SubplanRecord:
 
     plan: Plan
     transformations: Tuple[str, ...]
+    #: The exact application chain that produced this candidate from the
+    #: unit's input plan; the search replays it when composing the chosen
+    #: rewrites of several independent sub-units.
+    applications: Tuple[TransformationApplication, ...] = ()
     estimated_cost: float = float("inf")
     best_settings: Dict[str, Mapping[str, object]] = field(default_factory=dict)
     rrs_evaluations: int = 0
+    #: Exact cost-service activity of costing *this* candidate (queries, job
+    #: cache hits, re-costed jobs), captured through a per-candidate
+    #: attribution sink — correct even when candidates run concurrently.
+    cost_stats: CostServiceStats = field(default_factory=CostServiceStats)
 
 
 @dataclass
 class UnitReport:
-    """Everything the search did inside one optimization unit."""
+    """Everything the search did inside one optimization (sub-)unit."""
 
     unit: OptimizationUnit
     phase: str
@@ -58,10 +91,15 @@ class UnitReport:
     chosen_index: int = -1
     #: Cost-service activity attributed to this unit: workflow-level what-if
     #: queries issued, job estimates served from the cache, and jobs that
-    #: actually had to be re-costed.
+    #: actually had to be re-costed.  Sums of the explicit per-candidate
+    #: deltas (:attr:`SubplanRecord.cost_stats`), not an ambient window —
+    #: so the attribution is exact under any execution backend.
     cost_queries: int = 0
     job_cache_hits: int = 0
     jobs_recosted: int = 0
+    #: What-if queries spent scoring composed sub-unit combinations (set on
+    #: the first report of a split unit; zero for unsplit units).
+    composition_queries: int = 0
     #: The full plan before and after this unit was optimized.  The
     #: differential-verification harness replays ``plan_after`` to bisect an
     #: output divergence down to the single unit — and therefore the single
@@ -85,6 +123,21 @@ class UnitReport:
         return chosen.transformations if chosen is not None else ()
 
 
+@dataclass
+class _CostTask:
+    """One candidate costing dispatched to the execution backend."""
+
+    index: int
+    subunit_index: int
+    candidate_index: int
+    record: SubplanRecord
+    unit_jobs: Tuple[str, ...]
+    #: Stable identity of this candidate within the unit — the basis of its
+    #: forked RNG stream, so the stream does not depend on which worker (or
+    #: how many workers) costs the candidate.
+    rng_key: str
+
+
 class StubbySearch:
     """Greedy, unit-by-unit plan search over the transformation space."""
 
@@ -97,6 +150,7 @@ class StubbySearch:
         seed: int = 17,
         optimize_configurations: bool = True,
         cost_service: Optional[CostService] = None,
+        backend=None,
     ) -> None:
         self.cluster = cluster
         #: All cost queries go through the shared (memoizing) service; the
@@ -109,6 +163,10 @@ class StubbySearch:
             exploration_samples=10, exploitation_samples=8, restarts=1, seed=seed
         )
         self.optimize_configurations = optimize_configurations
+        #: Where candidate costings and RRS sample generations execute; a
+        #: backend instance, a spec string ("process:4"), or None (the
+        #: STUBBY_SEARCH_BACKEND environment variable, default serial).
+        self.backend: ExecutionBackend = resolve_backend(backend)
         self._rng = DeterministicRNG(seed)
 
     # ------------------------------------------------------------------ API
@@ -138,8 +196,9 @@ class StubbySearch:
             unit = generator.next_unit(current)
             if unit is None:
                 break
-            current, report = self.optimize_unit(current, unit, transformations, phase)
-            reports.append(report)
+            subunits = generator.independent_subunits(current, unit)
+            current, unit_reports = self.optimize_units(current, subunits, transformations, phase)
+            reports.extend(unit_reports)
             generator.mark_handled(current, unit)
         return current, reports
 
@@ -151,43 +210,264 @@ class StubbySearch:
         transformations: Sequence[Transformation],
         phase: str = "vertical",
     ) -> Tuple[Plan, UnitReport]:
-        """Enumerate, cost, and pick the best subplan for one unit."""
-        report = UnitReport(unit=unit, phase=phase, plan_before=plan)
-        candidates = self.enumerate_subplans(plan, unit, transformations)
+        """Enumerate, cost, and pick the best subplan for one unit.
 
+        Single-unit convenience over :meth:`optimize_units` (no sub-unit
+        splitting), used by the Figure 14 deep dive and the unit-level tests.
+        """
+        optimized, reports = self.optimize_units(plan, [unit], transformations, phase)
+        return optimized, reports[0]
+
+    def optimize_units(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        transformations: Sequence[Transformation],
+        phase: str = "vertical",
+    ) -> Tuple[Plan, List[UnitReport]]:
+        """Enumerate, cost, choose, and compose over independent sub-units.
+
+        All candidates of all sub-units are costed through the execution
+        backend.  A lone sub-unit keeps the classic choice (cheapest
+        candidate, ties by index); a split unit makes a *joint* choice over
+        composed candidate combinations (:meth:`_choose_composed`) and then
+        composes the winning rewrites in sub-unit order by replaying each
+        chosen candidate's application chain (the sub-units touch disjoint
+        vertices, so replay order cannot change any individual rewrite).
+        """
+        tasks: List[_CostTask] = []
+        per_subunit: List[List[SubplanRecord]] = []
+        for subunit_index, subunit in enumerate(subunits):
+            candidates = self.enumerate_subplans(plan, subunit, transformations)
+            per_subunit.append(candidates)
+            for candidate_index, record in enumerate(candidates):
+                tasks.append(
+                    _CostTask(
+                        index=len(tasks),
+                        subunit_index=subunit_index,
+                        candidate_index=candidate_index,
+                        record=record,
+                        unit_jobs=record_unit_jobs(record, subunit),
+                        rng_key=(
+                            f"{phase}/{'|'.join(subunit.producers)}"
+                            f"/candidate-{candidate_index}"
+                        ),
+                    )
+                )
+
+        self._cost_tasks(tasks)
+
+        if len(subunits) == 1:
+            return self._choose_single(plan, subunits[0], per_subunit[0], phase)
+        return self._choose_composed(plan, subunits, per_subunit, transformations, phase)
+
+    def _choose_single(
+        self,
+        plan: Plan,
+        unit: OptimizationUnit,
+        candidates: List[SubplanRecord],
+        phase: str,
+    ) -> Tuple[Plan, List[UnitReport]]:
+        """The unsplit-unit choice: lowest estimated cost, ties by index."""
+        report = UnitReport(unit=unit, phase=phase, plan_before=plan)
         best_index = -1
         best_cost = float("inf")
-        with StatsWindow(self.costs) as window:
-            for index, record in enumerate(candidates):
-                cost, settings, evaluations = self._cost_with_configurations(
-                    record.plan, record_unit_jobs(record, unit)
-                )
-                record.estimated_cost = cost
-                record.best_settings = settings
-                record.rrs_evaluations = evaluations
-                report.subplans.append(record)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_index = index
-        report.cost_queries = window.delta.queries
-        report.job_cache_hits = window.delta.job_cache_hits
-        report.jobs_recosted = window.delta.job_cache_misses
+        for index, record in enumerate(candidates):
+            report.subplans.append(record)
+            if record.estimated_cost < best_cost:
+                best_cost = record.estimated_cost
+                best_index = index
+        self._attribute_unit_stats(report)
 
         report.chosen_index = best_index
         if best_index < 0:
             report.plan_after = plan
-            return plan, report
+            return plan, [report]
 
         chosen = report.subplans[best_index]
         optimized = chosen.plan.copy()
-        if chosen.best_settings:
-            ConfigurationTransformation.apply_settings_in_place(optimized, chosen.best_settings)
-            for job_name, settings in chosen.best_settings.items():
-                optimized.record(
-                    ConfigurationTransformation.application_for(job_name, settings).as_applied()
-                )
+        self._apply_chosen_settings(optimized, chosen)
         report.plan_after = optimized.copy()
-        return optimized, report
+        return optimized, [report]
+
+    def _choose_composed(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        per_subunit: List[List[SubplanRecord]],
+        transformations: Sequence[Transformation],
+        phase: str,
+    ) -> Tuple[Plan, List[UnitReport]]:
+        """Joint choice over a split unit's sub-unit candidates.
+
+        Workflow cost is a per-level makespan — a *max*, not a sum — so the
+        best candidate of one sub-unit can depend on what the others chose
+        (a rewrite may look cost-neutral at the base plan simply because a
+        neighbouring sub-unit's job dominates the level).  Choosing each
+        sub-unit independently would discard such rewrites, so instead the
+        (bounded, deterministic) cross-product of per-sub-unit candidates
+        is composed onto the plan and re-scored with single what-if
+        estimates — cheap against the warm incremental cache, since the
+        expensive per-candidate RRS tuning already ran, fanned out, above.
+        Ties prefer the lexicographically smallest index vector, keeping
+        the choice backend-independent.
+        """
+        combos = self._candidate_combinations(per_subunit)
+        composition_stats = CostServiceStats()
+        best_combo = combos[0]
+        best_cost = float("inf")
+        with self.costs.attribute_to(composition_stats):
+            for combo in combos:
+                composed = plan
+                for subunit_index, candidate_index in enumerate(combo):
+                    composed = self._apply_candidate(
+                        composed, per_subunit[subunit_index][candidate_index], transformations
+                    )
+                cost = self.costs.estimate_workflow(composed.workflow).total_s
+                if cost < best_cost:
+                    best_cost = cost
+                    best_combo = combo
+
+        current = plan
+        reports: List[UnitReport] = []
+        for subunit_index, subunit in enumerate(subunits):
+            report = UnitReport(unit=subunit, phase=phase, plan_before=current)
+            report.subplans = list(per_subunit[subunit_index])
+            self._attribute_unit_stats(report)
+            report.chosen_index = best_combo[subunit_index]
+            chosen = report.subplans[report.chosen_index]
+            current = self._apply_candidate(current, chosen, transformations)
+            report.plan_after = current.copy()
+            reports.append(report)
+        reports[0].composition_queries = composition_stats.queries
+        return current, reports
+
+    @staticmethod
+    def _attribute_unit_stats(report: UnitReport) -> None:
+        """Per-unit aggregates: explicit sums of the per-candidate deltas."""
+        report.cost_queries = sum(r.cost_stats.queries for r in report.subplans)
+        report.job_cache_hits = sum(r.cost_stats.job_cache_hits for r in report.subplans)
+        report.jobs_recosted = sum(r.cost_stats.job_cache_misses for r in report.subplans)
+
+    def _apply_candidate(
+        self,
+        plan: Plan,
+        record: SubplanRecord,
+        transformations: Sequence[Transformation],
+    ) -> Plan:
+        """Apply one candidate's rewrite chain and settings onto ``plan``.
+
+        Never mutates ``plan``: replay produces fresh plans, and a
+        settings-only candidate is applied to a copy.  A candidate with
+        neither applications nor settings returns ``plan`` unchanged.
+        """
+        if record.applications:
+            out = self._replay_applications(plan, record.applications, transformations)
+        elif record.best_settings:
+            out = plan.copy()
+        else:
+            return plan
+        self._apply_chosen_settings(out, record)
+        return out
+
+    @staticmethod
+    def _apply_chosen_settings(optimized: Plan, chosen: SubplanRecord) -> None:
+        if not chosen.best_settings:
+            return
+        ConfigurationTransformation.apply_settings_in_place(optimized, chosen.best_settings)
+        for job_name, settings in chosen.best_settings.items():
+            optimized.record(
+                ConfigurationTransformation.application_for(job_name, settings).as_applied()
+            )
+
+    @staticmethod
+    def _candidate_combinations(per_subunit: List[List[SubplanRecord]]) -> List[Tuple[int, ...]]:
+        """Index vectors to score, in lexicographic order, bounded.
+
+        The full cross-product is used when it fits under
+        :data:`MAX_COMPOSED_COMBINATIONS`; otherwise shortlists are shrunk
+        deterministically by dropping the worst at-base candidate (highest
+        estimated cost, ties by highest index — never the untransformed
+        index 0) from the largest shortlist until the product fits.
+        """
+        shortlists = [list(range(len(candidates))) for candidates in per_subunit]
+
+        def product_size() -> int:
+            size = 1
+            for shortlist in shortlists:
+                size *= len(shortlist)
+            return size
+
+        while product_size() > MAX_COMPOSED_COMBINATIONS:
+            largest = max(range(len(shortlists)), key=lambda i: len(shortlists[i]))
+            droppable = [
+                index for index in shortlists[largest] if index != 0
+            ]
+            worst = max(
+                droppable,
+                key=lambda index: (per_subunit[largest][index].estimated_cost, index),
+            )
+            shortlists[largest].remove(worst)
+
+        combos: List[Tuple[int, ...]] = [()]
+        for shortlist in shortlists:
+            combos = [combo + (index,) for combo in combos for index in shortlist]
+        return combos
+
+    # --------------------------------------------------------- task fan-out
+    def _cost_tasks(self, tasks: List[_CostTask]) -> None:
+        """Cost every task on the backend, writing results onto the records.
+
+        Granularity is adaptive: with several candidates, whole candidate
+        costings are mapped across workers (each worker runs its RRS
+        serially); with a single candidate, the backend instead maps the
+        candidate's RRS sample *generations* point-by-point, so even
+        one-candidate units parallelize.  Both placements produce identical
+        values, so the choice affects wall-clock only.
+        """
+        if not tasks:
+            return
+
+        def worker_fn(request):
+            kind = request[0]
+            if kind == "candidate":
+                return self._cost_candidate(tasks[request[1]])
+            if kind == "point":
+                return self._evaluate_point(tasks[request[1]], request[2])
+            raise ValueError(f"unknown search work request {request[0]!r}")
+
+        side = cost_service_side_channel(self.costs)
+        results: List[Tuple] = []
+        with self.backend.session(worker_fn, side) as session:
+            if len(tasks) == 1:
+                results.append(self._cost_candidate(tasks[0], point_session=session))
+            else:
+                results = session.run([("candidate", task.index) for task in tasks])
+
+        for task, result in zip(tasks, results):
+            cost, settings, evaluations, stats = result
+            record = task.record
+            record.estimated_cost = cost
+            record.best_settings = settings
+            record.rrs_evaluations = evaluations
+            record.cost_stats = stats
+
+    def _cost_candidate(
+        self,
+        task: _CostTask,
+        point_session: Optional[BackendSession] = None,
+    ) -> Tuple[float, Dict[str, Mapping[str, object]], int, CostServiceStats]:
+        """Cost one candidate (baseline estimate + RRS configuration search)."""
+        stats = CostServiceStats()
+        with self.costs.attribute_to(stats):
+            cost, settings, evaluations = self._cost_with_configurations(task, point_session)
+        return cost, settings, evaluations, stats
+
+    def _evaluate_point(self, task: _CostTask, point: Mapping[str, object]) -> float:
+        """Objective value of one RRS configuration sample for a candidate."""
+        candidate = task.record.plan.copy()
+        ConfigurationTransformation.apply_settings_in_place(candidate, self._split_point(point))
+        return self.costs.estimate_workflow(candidate.workflow).total_s
 
     # ----------------------------------------------------------- enumeration
     def enumerate_subplans(
@@ -218,6 +498,7 @@ class StubbySearch:
                         new_record = SubplanRecord(
                             plan=new_plan,
                             transformations=record.transformations + (transformation.name,),
+                            applications=record.applications + (application,),
                         )
                         results.append(new_record)
                         next_frontier.append((new_record, new_unit_jobs))
@@ -239,17 +520,43 @@ class StubbySearch:
         surviving = [name for name in unit_jobs if name in new_names]
         return tuple(surviving + [name for name in created if name not in surviving])
 
+    # ----------------------------------------------------------- composition
+    @staticmethod
+    def _replay_applications(
+        plan: Plan,
+        applications: Sequence[TransformationApplication],
+        transformations: Sequence[Transformation],
+    ) -> Plan:
+        """Re-apply a chosen candidate's application chain onto ``plan``.
+
+        Used when several independent sub-units each chose a rewrite: the
+        chains target disjoint vertex sets, so replaying them sequentially
+        reproduces each sub-unit's chosen subplan exactly.
+        """
+        registry = {t.name: t for t in transformations}
+        current = plan
+        for application in applications:
+            transformation = registry.get(application.transformation)
+            if transformation is None:
+                raise KeyError(
+                    f"cannot replay application of unknown transformation "
+                    f"{application.transformation!r}"
+                )
+            current = transformation.apply(current, application)
+        return current
+
     # ------------------------------------------------------------- costing
     def _cost_with_configurations(
         self,
-        plan: Plan,
-        unit_jobs: Sequence[str],
+        task: _CostTask,
+        point_session: Optional[BackendSession] = None,
     ) -> Tuple[float, Dict[str, Mapping[str, object]], int]:
+        plan = task.record.plan
         baseline_estimate = self.costs.estimate_workflow(plan.workflow)
         if baseline_estimate.cost_basis != "whatif" or not self.optimize_configurations:
             return baseline_estimate.total_s, {}, 0
 
-        jobs_to_tune = [name for name in unit_jobs if plan.workflow.has_job(name)]
+        jobs_to_tune = [name for name in task.unit_jobs if plan.workflow.has_job(name)]
         if not jobs_to_tune:
             return baseline_estimate.total_s, {}, 0
 
@@ -257,14 +564,19 @@ class StubbySearch:
         if not space.dimensions:
             return baseline_estimate.total_s, {}, 0
 
-        def objective(point: Mapping[str, object]) -> float:
-            candidate = plan.copy()
-            ConfigurationTransformation.apply_settings_in_place(
-                candidate, self._split_point(point)
-            )
-            return self.costs.estimate_workflow(candidate.workflow).total_s
+        if point_session is None:
+            def objective_batch(points):
+                return [self._evaluate_point(task, point) for point in points]
+        else:
+            def objective_batch(points):
+                return point_session.run(
+                    [("point", task.index, dict(point)) for point in points]
+                )
 
-        result = self.rrs.search(space, objective, initial_point=initial, rng=self._rng.fork(str(sorted(jobs_to_tune))))
+        rng = self._rng.fork(f"{task.rng_key}/{','.join(sorted(jobs_to_tune))}")
+        result = self.rrs.search(
+            space, objective_batch=objective_batch, initial_point=initial, rng=rng
+        )
         best_settings = self._split_point(result.best_point)
         best_cost = min(result.best_value, baseline_estimate.total_s)
         if result.best_value > baseline_estimate.total_s:

@@ -107,11 +107,17 @@ class ExperimentHarness:
         scale: float = 0.25,
         profile_noise: float = 0.0,
         seed: int = 42,
+        search_backend=None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.paper_cluster()
         self.scale = scale
         self.profile_noise = profile_noise
         self.seed = seed
+        #: Execution backend handed to every Stubby-search optimizer (spec
+        #: string, backend instance, or None for STUBBY_SEARCH_BACKEND /
+        #: serial).  The chosen plans are backend-independent by contract,
+        #: so this only affects optimization wall-clock.
+        self.search_backend = search_backend
         self.executor = WorkflowExecutor()
         self.actual_model = ActualCostModel(self.cluster)
         self.costs = CostService(self.cluster)
@@ -129,11 +135,17 @@ class ExperimentHarness:
         if name == "Baseline":
             return PigBaselineOptimizer(self.cluster, cost_service=self.costs)
         if name == "Stubby":
-            return StubbyOptimizer(self.cluster, cost_service=self.costs)
+            return StubbyOptimizer(
+                self.cluster, cost_service=self.costs, backend=self.search_backend
+            )
         if name == "Vertical":
-            return StubbyOptimizer.vertical_only(self.cluster, cost_service=self.costs)
+            return StubbyOptimizer.vertical_only(
+                self.cluster, cost_service=self.costs, backend=self.search_backend
+            )
         if name == "Horizontal":
-            return StubbyOptimizer.horizontal_only(self.cluster, cost_service=self.costs)
+            return StubbyOptimizer.horizontal_only(
+                self.cluster, cost_service=self.costs, backend=self.search_backend
+            )
         if name == "Starfish":
             return StarfishOptimizer(self.cluster, cost_service=self.costs)
         if name == "YSmart":

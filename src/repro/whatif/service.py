@@ -1,4 +1,4 @@
-"""Incremental, memoized cost-estimation service over the What-if engine.
+"""Incremental, memoized, concurrency-safe cost estimation over the What-if engine.
 
 Stubby's practicality hinges on enumeration being cheap relative to what-if
 costing (paper §4–§5): the search costs the *full* workflow for every RRS
@@ -16,17 +16,35 @@ query of the optimizer stack and makes them incremental:
   estimates, so the returned :class:`~repro.whatif.model.WorkflowCostEstimate`
   is *exactly* equal to a cold full re-estimation.
 
+The service is safe to share across the parallel unit search
+(:mod:`repro.core.parallel`):
+
+* both cache levels are **lock-striped** — entries are sharded by signature
+  hash, each shard carrying its own lock and LRU order, so concurrent
+  candidate costings in the thread backend contend per-shard, not globally;
+* stats counters are updated atomically under a dedicated lock, and
+  **attribution sinks** (:meth:`CostService.attribute_to`) let a caller
+  capture the exact per-candidate stats delta on its own thread even while
+  other candidates run concurrently;
+* forked worker processes accumulate into their private (copy-on-write)
+  shard and hand their new entries and stats back through
+  :meth:`export_log_entries` / :meth:`absorb_entries` /
+  :meth:`apply_external_delta` — the process backend's merge-on-join.
+
 The service keeps :class:`CostServiceStats` (queries, cache hits, re-costed
-jobs, effectively-full estimations) that the search surfaces per optimization
-unit and per optimizer run; the counters are the basis of the
-``BENCH_cost_service.json`` perf trajectory.
+jobs, effectively-full estimations) that the search surfaces per candidate,
+per optimization unit, and per optimizer run; the counters are the basis of
+the ``BENCH_cost_service.json`` and ``BENCH_parallel_search.json`` perf
+trajectories.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.whatif.jobmodel import estimate_job_time
@@ -35,6 +53,13 @@ from repro.workflow.graph import Workflow
 
 #: Default bound on cached per-vertex estimates; old entries are evicted LRU.
 DEFAULT_MAX_CACHE_ENTRIES = 200_000
+
+#: Number of independently locked cache shards (a power of two).
+CACHE_STRIPES = 16
+
+#: Cap on entries a forked worker ships back on merge-on-join; beyond this
+#: the freshest entries win (export logs are append-ordered).
+MAX_EXPORTED_ENTRIES = 20_000
 
 
 @dataclass
@@ -105,6 +130,16 @@ class CostServiceStats:
             return float(self.full_estimates)
         return self.job_full_recosts * self.queries / self.job_queries
 
+    def accumulate(self, delta: "CostServiceStats") -> None:
+        """Add another stats delta into this one, in place."""
+        self.queries += delta.queries
+        self.fallback_queries += delta.fallback_queries
+        self.full_estimates += delta.full_estimates
+        self.job_queries += delta.job_queries
+        self.job_cache_hits += delta.job_cache_hits
+        self.job_dataflow_hits += delta.job_dataflow_hits
+        self.job_full_recosts += delta.job_full_recosts
+
     def snapshot(self) -> "CostServiceStats":
         """Immutable copy of the current counters."""
         return replace(self)
@@ -137,6 +172,57 @@ class CostServiceStats:
         }
 
 
+class _ShardedCache:
+    """A lock-striped LRU mapping from signature tuples to cache entries.
+
+    Signatures are distributed across :data:`CACHE_STRIPES` shards by hash;
+    each shard has its own lock, insertion order, and share of the total
+    capacity, so two threads costing different jobs almost never contend on
+    the same lock.  Shard placement affects only contention — never the
+    cached values — so it is free to vary between processes.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max(1, max_entries)
+        # A shard never holds more than its share of the total capacity, so
+        # the whole cache stays within max_entries; tiny capacities use fewer
+        # stripes rather than rounding every shard up to one entry.
+        self._stripes = max(1, min(CACHE_STRIPES, self.max_entries))
+        per_shard = self.max_entries // self._stripes
+        self._shards: List[Tuple[threading.Lock, "OrderedDict[Tuple, object]", int]] = [
+            (threading.Lock(), OrderedDict(), per_shard) for _ in range(self._stripes)
+        ]
+
+    def _shard(self, signature: Tuple):
+        return self._shards[hash(signature) % self._stripes]
+
+    def lookup(self, signature: Tuple):
+        lock, entries, _cap = self._shard(signature)
+        with lock:
+            entry = entries.get(signature)
+            if entry is not None:
+                entries.move_to_end(signature)
+            return entry
+
+    def store(self, signature: Tuple, entry) -> bool:
+        """Insert an entry; returns True when the signature was new."""
+        lock, entries, cap = self._shard(signature)
+        with lock:
+            new = signature not in entries
+            entries[signature] = entry
+            if len(entries) > cap:
+                entries.popitem(last=False)
+            return new
+
+    def clear(self) -> None:
+        for lock, entries, _cap in self._shards:
+            with lock:
+                entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(entries) for _lock, entries, _cap in self._shards)
+
+
 class CostService:
     """Memoizing façade over :class:`WhatIfEngine` for the optimizer stack.
 
@@ -145,7 +231,9 @@ class CostService:
     optimizers go through one service instance, so cache entries are shared
     across candidate subplans, RRS samples, units, and phases — candidate
     plans are deep copies, but the content-based vertex signatures make the
-    copies cache-transparent.
+    copies cache-transparent.  One instance may be queried from several
+    search threads concurrently; see the module docstring for the
+    concurrency model.
 
     ``enable_cache=False`` turns the service into a pass-through that costs
     every job cold (used by tests to prove the memoized results are
@@ -165,17 +253,24 @@ class CostService:
         self.enable_cache = enable_cache
         self.max_cache_entries = max(1, max_cache_entries)
         #: Fine cache: full vertex signature -> exact VertexCost.
-        self._cache: "OrderedDict[Tuple, VertexCost]" = OrderedDict()
+        self._cache = _ShardedCache(self.max_cache_entries)
         #: Coarse cache: dataflow signature -> (JobDataflow, contributions);
         #: reused when only job-model config knobs moved.
-        self._dataflow_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._dataflow_cache = _ShardedCache(self.max_cache_entries)
+        self._stats_lock = threading.Lock()
+        self._sinks = threading.local()
+        #: Append-only log of entries stored since :meth:`start_export_log`;
+        #: enabled only inside forked workers (single-threaded), so it needs
+        #: no lock of its own.
+        self._export_log: Optional[List[Tuple[str, Tuple, object]]] = None
 
     # ------------------------------------------------------------------ API
     def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
         """Estimate ``workflow``, reusing cached per-job work where valid."""
-        self.stats.queries += 1
+        delta = CostServiceStats(queries=1)
         if any(not vertex.annotations.has_profile for vertex in workflow.jobs):
-            self.stats.fallback_queries += 1
+            delta.fallback_queries = 1
+            self._apply_delta(delta)
             return self.engine.job_count_estimate(workflow)
 
         # Per-query tallies: [estimate hits, dataflow hits, full recosts].
@@ -185,12 +280,13 @@ class CostService:
         )
 
         estimate_hits, dataflow_hits, full_recosts = tallies
-        self.stats.job_queries += estimate_hits + dataflow_hits + full_recosts
-        self.stats.job_cache_hits += estimate_hits
-        self.stats.job_dataflow_hits += dataflow_hits
-        self.stats.job_full_recosts += full_recosts
+        delta.job_queries = estimate_hits + dataflow_hits + full_recosts
+        delta.job_cache_hits = estimate_hits
+        delta.job_dataflow_hits = dataflow_hits
+        delta.job_full_recosts = full_recosts
         if estimate_hits == 0 and dataflow_hits == 0:
-            self.stats.full_estimates += 1
+            delta.full_estimates = 1
+        self._apply_delta(delta)
         return estimate
 
     def _cost_vertex_cached(self, vertex, workflow, sizes, tallies) -> VertexCost:
@@ -212,16 +308,97 @@ class CostService:
         else:
             tallies[2] += 1
             derived = engine.derive_vertex_dataflow(vertex, workflow, sizes)
-            self._store(self._dataflow_cache, dataflow_sig, derived)
+            self._store(self._dataflow_cache, "dataflow", dataflow_sig, derived)
         dataflow, contributions = derived
         estimate = estimate_job_time(dataflow, vertex.job.config, self.cluster)
         costed = VertexCost(estimate=estimate, output_contributions=contributions)
-        self._store(self._cache, full_sig, costed)
+        self._store(self._cache, "estimate", full_sig, costed)
         return costed
 
     def estimate_plan(self, plan) -> WorkflowCostEstimate:
         """Convenience: estimate a :class:`~repro.core.plan.Plan`'s workflow."""
         return self.estimate_workflow(plan.workflow)
+
+    # ------------------------------------------------------- stats plumbing
+    def _apply_delta(self, delta: CostServiceStats) -> None:
+        """Fold a stats delta into the global counters and this thread's sinks."""
+        with self._stats_lock:
+            self.stats.accumulate(delta)
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def _sink_stack(self) -> List[CostServiceStats]:
+        stack = getattr(self._sinks, "stack", None)
+        if stack is None:
+            stack = []
+            self._sinks.stack = stack
+        return stack
+
+    @contextmanager
+    def attribute_to(self, sink: CostServiceStats):
+        """Also credit this thread's queries to ``sink`` while active.
+
+        Sinks are thread-local and stack: the search wraps each candidate
+        costing in one so :class:`~repro.core.search.SubplanRecord` carries
+        its exact stats delta even when candidates run concurrently — the
+        fix for the ordering-dependent ambient-window attribution.
+        """
+        stack = self._sink_stack()
+        stack.append(sink)
+        try:
+            yield sink
+        finally:
+            stack.pop()
+
+    def apply_external_delta(self, delta: CostServiceStats) -> None:
+        """Fold in work performed by a foreign process (merge-on-join).
+
+        The worker's queries never touched this process's counters, so the
+        delta goes through the full path: global stats plus the calling
+        thread's attribution sinks.
+        """
+        self._apply_delta(delta)
+
+    def apply_sink_only_delta(self, delta: CostServiceStats) -> None:
+        """Re-attribute work already counted globally to this thread's sinks.
+
+        Used by the thread backend: worker threads updated the shared global
+        counters live, but the calling thread's sinks (per-candidate stats)
+        never saw the work.
+        """
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def stats_snapshot(self) -> CostServiceStats:
+        """Consistent copy of the global counters (for windows/reports)."""
+        with self._stats_lock:
+            return self.stats.snapshot()
+
+    # ------------------------------------------------- process merge-on-join
+    def start_export_log(self) -> None:
+        """Begin recording newly stored cache entries (forked workers only)."""
+        self._export_log = []
+
+    def export_log_entries(self) -> List[Tuple[str, Tuple, object]]:
+        """Drain the export log: ``(level, signature, entry)`` triples.
+
+        Bounded by :data:`MAX_EXPORTED_ENTRIES`, keeping the *freshest*
+        entries when over budget (the log is append-ordered).
+        """
+        log = self._export_log or []
+        self._export_log = None
+        return log[-MAX_EXPORTED_ENTRIES:]
+
+    def absorb_entries(self, entries: List[Tuple[str, Tuple, object]]) -> None:
+        """Merge cache entries exported by a worker into this service.
+
+        Signatures are content-based and entries are exact, so merging is
+        idempotent and order-independent — absorbing a duplicate simply
+        refreshes its LRU position.
+        """
+        for level, signature, entry in entries:
+            cache = self._cache if level == "estimate" else self._dataflow_cache
+            self._store(cache, level, signature, entry, log=False)
 
     # ------------------------------------------------------------ cache mgmt
     def invalidate(self) -> None:
@@ -234,20 +411,17 @@ class CostService:
         """Number of cached per-vertex estimates."""
         return len(self._cache)
 
-    def _lookup(self, cache: "OrderedDict", signature: Tuple):
+    def _lookup(self, cache: _ShardedCache, signature: Tuple):
         if not self.enable_cache:
             return None
-        entry = cache.get(signature)
-        if entry is not None:
-            cache.move_to_end(signature)
-        return entry
+        return cache.lookup(signature)
 
-    def _store(self, cache: "OrderedDict", signature: Tuple, entry) -> None:
+    def _store(self, cache: _ShardedCache, level: str, signature: Tuple, entry, log: bool = True) -> None:
         if not self.enable_cache:
             return
-        cache[signature] = entry
-        if len(cache) > self.max_cache_entries:
-            cache.popitem(last=False)
+        new = cache.store(signature, entry)
+        if new and log and self._export_log is not None:
+            self._export_log.append((level, signature, entry))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

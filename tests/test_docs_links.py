@@ -1,0 +1,58 @@
+"""Dead-link check over the repository documentation.
+
+Walks ``README.md`` and every Markdown file under ``docs/`` and fails on any
+relative link whose target does not exist (anchors and external URLs are out
+of scope).  Running inside the tier-1 suite keeps the docs build-out honest:
+a renamed doc or a stale cross-reference breaks the build, not a reader.
+CI additionally runs this file as an explicit docs-link-check step.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline Markdown links: [text](target).  Reference-style links are not
+#: used in this repo's docs.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs_dir, name))
+    return [path for path in files if os.path.exists(path)]
+
+
+def _relative_links(path):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Strip fenced code blocks: link-like text inside them is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+def test_readme_and_docs_exist():
+    assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
+    for name in ("index.md", "architecture.md", "search.md", "costing.md", "verification.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
+
+
+@pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_no_dead_relative_links(path):
+    broken = []
+    base = os.path.dirname(path)
+    for target in _relative_links(path):
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, (
+        f"{os.path.relpath(path, REPO_ROOT)} has dead relative link(s): {broken}"
+    )

@@ -24,7 +24,27 @@ def cluster():
 
 @pytest.fixture(scope="session")
 def harness(cluster):
-    return ExperimentHarness(cluster=cluster, scale=BENCHMARK_SCALE)
+    """The shared harness behind the fig10–fig14 benchmarks.
+
+    Honours the ``STUBBY_COST_CACHE`` environment variable (resolved inside
+    :class:`ExperimentHarness`): when set, the session warm-starts its cost
+    service from the persisted cache and merges the store back at teardown.
+    The warm start pays off in the benchmarks that estimate on a shared
+    service without resetting it (fig10's unit enumeration, fig14's deep
+    dive); the ``compare()``-based figures (11–13) deliberately invalidate
+    the cache before each timed optimizer so their reported numbers stay
+    standalone — persistence cannot and does not speed those up.  Results
+    are unaffected either way: cached estimates are bit-identical by the
+    service's exactness contract.
+    """
+    instance = ExperimentHarness(cluster=cluster, scale=BENCHMARK_SCALE)
+    yield instance
+    if instance.cache_path:
+        # Re-absorb whatever the file holds before saving, so a session that
+        # ends with a sparse (post-invalidate) in-memory store never shrinks
+        # a richer persisted one — merging is idempotent and exact.
+        instance.costs.load_cache()
+        instance.persist_cache()
 
 
 def run_once(benchmark, fn):

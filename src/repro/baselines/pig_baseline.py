@@ -22,8 +22,10 @@ class PigBaselineOptimizer(BaselineOptimizer):
 
     name = "Baseline"
 
-    def __init__(self, cluster, enable_multiquery: bool = True, cost_service=None) -> None:
-        super().__init__(cluster, cost_service=cost_service)
+    def __init__(
+        self, cluster, enable_multiquery: bool = True, cost_service=None, cache_path=None
+    ) -> None:
+        super().__init__(cluster, cost_service=cost_service, cache_path=cache_path)
         self.enable_multiquery = enable_multiquery
         self._horizontal = HorizontalPacking(allow_extended=False)
 

@@ -24,8 +24,15 @@ class StarfishOptimizer(BaselineOptimizer):
 
     name = "Starfish"
 
-    def __init__(self, cluster, rrs: Optional[RecursiveRandomSearch] = None, seed: int = 23, cost_service=None) -> None:
-        super().__init__(cluster, cost_service=cost_service)
+    def __init__(
+        self,
+        cluster,
+        rrs: Optional[RecursiveRandomSearch] = None,
+        seed: int = 23,
+        cost_service=None,
+        cache_path=None,
+    ) -> None:
+        super().__init__(cluster, cost_service=cost_service, cache_path=cache_path)
         self.rrs = rrs or RecursiveRandomSearch(
             exploration_samples=10, exploitation_samples=8, restarts=1, seed=seed
         )

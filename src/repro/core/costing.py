@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.cluster import ClusterSpec
 from repro.core.parallel import SideChannel
-from repro.whatif.service import CostService, CostServiceStats
+from repro.whatif.service import CostService, CostServiceStats, resolve_cache_path
 
 __all__ = [
     "CostService",
@@ -26,11 +26,14 @@ __all__ = [
     "StatsWindow",
     "cost_service_side_channel",
     "ensure_cost_service",
+    "resolve_cache_path",
 ]
 
 
 def ensure_cost_service(
-    cluster: ClusterSpec, service: Optional[CostService] = None
+    cluster: ClusterSpec,
+    service: Optional[CostService] = None,
+    cache_path: Optional[str] = None,
 ) -> CostService:
     """Return ``service`` if given, else a fresh :class:`CostService`.
 
@@ -39,9 +42,15 @@ def ensure_cost_service(
     default-construction policy in one place.  A shared service must have
     been built for the same cluster — cached estimates carry no cluster
     component, so cross-cluster sharing would silently serve wrong costs.
+
+    ``cache_path`` applies only when a fresh service is constructed: the new
+    service warm-starts from the persisted cache at that path (explicit
+    argument, else the ``STUBBY_COST_CACHE`` environment variable).  When an
+    existing service is passed, persistence was that service's constructor's
+    decision and the argument is ignored.
     """
     if service is None:
-        return CostService(cluster)
+        return CostService(cluster, cache_path=resolve_cache_path(cache_path))
     if service.cluster != cluster:
         raise ValueError(
             "cost service was built for a different ClusterSpec; "
@@ -58,6 +67,11 @@ def cost_service_side_channel(service: CostService) -> SideChannel:
     * ``chunk_begin``/``chunk_end`` bracket each worker chunk with a fresh
       attribution sink on the *worker's* thread, capturing the chunk's exact
       stats delta without reading the (concurrently moving) global counters.
+      They also propagate the *session opener's* origin label
+      (:meth:`CostService.origin`) onto the worker thread for the chunk's
+      duration: origin labels are thread-local, so without this a thread
+      backend's workers would store and compare entries under no label and
+      misattribute same-origin reuse as cross-origin.
     * ``chunk_absorb_shared`` (thread backend) re-attributes the delta to the
       calling thread's sinks only — the shared global counters already saw
       the work live.
@@ -67,12 +81,20 @@ def cost_service_side_channel(service: CostService) -> SideChannel:
       into the parent cache when the session joins.
     """
 
-    def chunk_begin() -> CostServiceStats:
+    # Captured on the thread opening the session (e.g. the experiment cell's
+    # thread), then re-established on whichever thread runs each chunk.
+    origin_label = service.current_origin()
+
+    def chunk_begin():
         sink = CostServiceStats()
         service._sink_stack().append(sink)
-        return sink
+        previous_origin = service.current_origin()
+        service._origin.label = origin_label
+        return (sink, previous_origin)
 
-    def chunk_end(sink: CostServiceStats) -> CostServiceStats:
+    def chunk_end(token) -> CostServiceStats:
+        sink, previous_origin = token
+        service._origin.label = previous_origin
         service._sink_stack().pop()
         return sink
 

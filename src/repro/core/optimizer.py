@@ -77,13 +77,19 @@ class StubbyOptimizer:
         seed: int = 17,
         cost_service: Optional[CostService] = None,
         backend=None,
+        cache_path: Optional[str] = None,
     ) -> None:
         # Phases are validated lazily, when optimize() actually uses them, so
         # an optimizer can be constructed from not-yet-complete configuration
         # (and so per-call phase overrides go through the same validation).
+        #
+        # ``cache_path`` (or the STUBBY_COST_CACHE environment variable) makes
+        # a standalone optimizer warm-start its cost service from a persisted
+        # cache; call ``self.costs.save_cache()`` to write the store back.
+        # It is ignored when an explicit ``cost_service`` is shared in.
         self.cluster = cluster
         self.phases = tuple(phases)
-        self.costs = ensure_cost_service(cluster, cost_service)
+        self.costs = ensure_cost_service(cluster, cost_service, cache_path=cache_path)
         self.whatif = self.costs.engine
         vertical = [
             IntraJobVerticalPacking(),

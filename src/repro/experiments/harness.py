@@ -14,10 +14,27 @@ Figure 11 uses the {Baseline, Stubby, Vertical, Horizontal} optimizer set,
 Figure 12 the {Baseline, Stubby, Starfish, YSmart, MRShare} set, Figure 13
 the optimization times, and Figure 14 the per-subplan deep dive of the first
 optimization unit of the Information Retrieval workload.
+
+Two entry points cover the two evaluation styles:
+
+* :meth:`ExperimentHarness.compare` — one workload, optimizers run one at a
+  time, each from a cold cache, so the per-optimizer timings and what-if
+  counters are standalone (the Figures 11–13 requirement);
+* :meth:`ExperimentHarness.run` — a whole experiment at once: every
+  (workload × optimizer) **cell** is dispatched through the
+  :class:`~repro.experiments.scheduler.ExperimentScheduler` onto a pluggable
+  execution backend (``STUBBY_EXPERIMENT_BACKEND``), all cells sharing the
+  harness's :class:`CostService` so cross-cell signature hits are reaped
+  (surfaced as ``OptimizerRun.cross_unit_hits``), and — when a ``cache_path``
+  is configured — the signature→estimate store persists across runs, so a
+  repeated experiment warm-starts instead of recomputing.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +46,7 @@ from repro.baselines import (
 )
 from repro.cluster import ClusterSpec
 from repro.common.records import records_equal
+from repro.core.costing import StatsWindow
 from repro.core.optimizer import OptimizationResult, StubbyOptimizer
 from repro.core.search import StubbySearch, UnitReport
 from repro.core.transformations import (
@@ -39,10 +57,12 @@ from repro.core.transformations import (
 )
 from repro.core.optimization_unit import OptimizationUnitGenerator
 from repro.core.transformations.configuration import ConfigurationTransformation
+from repro.experiments.scheduler import ExperimentCell, ExperimentScheduler, build_cells
 from repro.profiler import Profiler
-from repro.whatif import ActualCostModel, CostService
+from repro.whatif import ActualCostModel, CostService, CostServiceStats
+from repro.whatif.service import resolve_cache_path
 from repro.workflow.executor import WorkflowExecutor
-from repro.workloads import build_workload
+from repro.workloads import WORKLOAD_ORDER, build_workload
 from repro.workloads.base import Workload
 
 
@@ -63,12 +83,39 @@ class OptimizerRun:
     whatif_queries: int = 0
     jobs_recosted: int = 0
     cache_hit_rate: float = 0.0
+    #: Cache hits served by entries another experiment cell (or a
+    #: warm-started persisted cache) stored — only populated by
+    #: :meth:`ExperimentHarness.run`, whose cells share one service;
+    #: :meth:`ExperimentHarness.compare` runs each optimizer cold.
+    cross_unit_hits: int = 0
+    #: Full per-cell stats breakdown (exact under concurrency: accumulated
+    #: through a per-cell attribution sink, not a global window).  ``None``
+    #: outside the orchestrated :meth:`ExperimentHarness.run` path.
+    cost_stats: Optional[CostServiceStats] = None
 
     def speedup_over(self, baseline: "OptimizerRun") -> float:
         """Speedup of this run's actual runtime over the baseline's."""
         if self.actual_s <= 0:
             return 0.0
         return baseline.actual_s / self.actual_s
+
+    def decision_fingerprint(self) -> Tuple:
+        """The run's *results* as comparable plain data.
+
+        Everything the experiment decided or measured deterministically —
+        and nothing that legitimately varies between equivalent runs: wall
+        clock (``optimization_time_s``) and cache-placement stats (hit
+        rates change with interleaving and warmth; the *results* must not).
+        The orchestration identity contract is stated over this value.
+        """
+        return (
+            self.optimizer,
+            self.num_jobs,
+            self.actual_s,
+            self.estimated_s,
+            self.output_equivalent,
+            tuple(self.transformations),
+        )
 
 
 @dataclass
@@ -95,11 +142,83 @@ class WorkloadComparison:
         return {name: self.speedup(name) for name in self.runs}
 
 
+@dataclass
+class ExperimentRunResult:
+    """Outcome of one orchestrated :meth:`ExperimentHarness.run`."""
+
+    #: Per-workload comparisons, in the requested workload order.
+    comparisons: Dict[str, WorkloadComparison]
+    #: Optimizer names, in the requested (and per-workload run) order.
+    optimizers: Tuple[str, ...]
+    #: Spec of the experiment backend the cells ran on (e.g. "process:4").
+    backend: str
+    #: Wall-clock seconds of the serial preparation phase (build + profile +
+    #: reference execution of every workload).
+    prepare_s: float = 0.0
+    #: Wall-clock seconds of the fanned-out cell phase — the part the
+    #: experiment backend parallelizes.
+    cells_s: float = 0.0
+    #: Cost-service counter delta over the whole run (all cells combined).
+    cost_stats: CostServiceStats = field(default_factory=CostServiceStats)
+    #: Entries the harness's service absorbed from a persisted cache at
+    #: construction (0 on a cold start).  Constructor-scoped provenance: a
+    #: second ``run()`` on the same harness reports the same number.
+    warm_start_entries: int = 0
+    #: Per-vertex estimates already cached when *this* run's cells started —
+    #: in-memory warmth from any source (disk load or a previous ``run()``
+    #: on the same harness).  0 means the cells really started cold.
+    cache_entries_at_start: int = 0
+    #: The persisted-cache path in effect, or ``None``.
+    cache_path: Optional[str] = None
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall-clock seconds (preparation + cells)."""
+        return self.prepare_s + self.cells_s
+
+    @property
+    def cross_unit_hits(self) -> int:
+        """Cache hits reaped across cell boundaries, summed over all cells."""
+        return sum(
+            run.cross_unit_hits
+            for comparison in self.comparisons.values()
+            for run in comparison.runs.values()
+        )
+
+    def comparison(self, abbreviation: str) -> WorkloadComparison:
+        """The comparison of one workload."""
+        return self.comparisons[abbreviation]
+
+    def decision_fingerprint(self) -> Tuple:
+        """Every cell's results as plain data — the identity-contract value.
+
+        Two runs of the same experiment (any backend, any worker count, warm
+        or cold cache) must produce equal fingerprints; see
+        ``tests/test_experiment_orchestration.py``.
+        """
+        return tuple(
+            (abbr, tuple(comparison.runs[name].decision_fingerprint() for name in self.optimizers))
+            for abbr, comparison in self.comparisons.items()
+        )
+
+    def speedup_table(self) -> str:
+        """Text table of speedups over the Baseline (one row per workload)."""
+        return ExperimentHarness.format_speedup_table(
+            list(self.comparisons.values()), self.optimizers
+        )
+
+
 class ExperimentHarness:
     """Runs workloads under several optimizers and collects the comparison."""
 
     FIGURE11_OPTIMIZERS = ("Baseline", "Stubby", "Vertical", "Horizontal")
     FIGURE12_OPTIMIZERS = ("Baseline", "Stubby", "Starfish", "YSmart", "MRShare")
+
+    #: Distinguishes origin labels of successive run() calls (and of runs in
+    #: other processes), so a warm-started cache's entries — stored by a
+    #: previous run's cells under the *same* cell names — still register as
+    #: cross-origin when this run hits them.
+    _run_tokens = itertools.count(1)
 
     def __init__(
         self,
@@ -108,6 +227,8 @@ class ExperimentHarness:
         profile_noise: float = 0.0,
         seed: int = 42,
         search_backend=None,
+        experiment_backend=None,
+        cache_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.paper_cluster()
         self.scale = scale
@@ -118,36 +239,48 @@ class ExperimentHarness:
         #: serial).  The chosen plans are backend-independent by contract,
         #: so this only affects optimization wall-clock.
         self.search_backend = search_backend
+        #: Default backend for :meth:`run`'s cell fan-out (spec string,
+        #: backend instance, or None for STUBBY_EXPERIMENT_BACKEND / serial).
+        self.experiment_backend = experiment_backend
+        #: Persisted-cache path (explicit argument, else the
+        #: STUBBY_COST_CACHE environment variable, else no persistence).
+        #: The cost service warm-starts from it now; :meth:`run` saves back.
+        self.cache_path = resolve_cache_path(cache_path)
         self.executor = WorkflowExecutor()
         self.actual_model = ActualCostModel(self.cluster)
-        self.costs = CostService(self.cluster)
+        self.costs = CostService(self.cluster, cache_path=self.cache_path)
         self.whatif = self.costs.engine
 
     # ----------------------------------------------------------- optimizers
-    def make_optimizer(self, name: str):
+    def make_optimizer(self, name: str, seed: Optional[int] = None):
         """Instantiate an optimizer by its display name.
 
         Every optimizer is handed the harness's shared :class:`CostService`,
         so exact per-vertex estimates are reused across the optimizers (and
         workloads) of one comparison; per-run stats stay separable because
         each ``optimize()`` reports its own counter delta.
+
+        ``seed`` overrides the search-RNG seed of the seeded optimizers
+        (Stubby variants, Starfish); :meth:`run` passes each cell's derived
+        seed through here.  Rule-based optimizers ignore it.
         """
+        seeded = {} if seed is None else {"seed": seed}
         if name == "Baseline":
             return PigBaselineOptimizer(self.cluster, cost_service=self.costs)
         if name == "Stubby":
             return StubbyOptimizer(
-                self.cluster, cost_service=self.costs, backend=self.search_backend
+                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
             )
         if name == "Vertical":
             return StubbyOptimizer.vertical_only(
-                self.cluster, cost_service=self.costs, backend=self.search_backend
+                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
             )
         if name == "Horizontal":
             return StubbyOptimizer.horizontal_only(
-                self.cluster, cost_service=self.costs, backend=self.search_backend
+                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
             )
         if name == "Starfish":
-            return StarfishOptimizer(self.cluster, cost_service=self.costs)
+            return StarfishOptimizer(self.cluster, cost_service=self.costs, **seeded)
         if name == "YSmart":
             return YSmartOptimizer(self.cluster, cost_service=self.costs)
         if name == "MRShare":
@@ -187,6 +320,133 @@ class ExperimentHarness:
             result = optimizer.optimize(workload.plan)
             comparison.runs[optimizer_name] = self._evaluate(result, workload, reference_outputs)
         return comparison
+
+    # ------------------------------------------------------- orchestrated run
+    def run(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        optimizers: Sequence[str] = FIGURE11_OPTIMIZERS,
+        backend=None,
+        persist: bool = True,
+    ) -> ExperimentRunResult:
+        """Run a whole experiment — every (workload × optimizer) cell — at once.
+
+        Unlike :meth:`compare` (cold cache per optimizer, for standalone
+        Figure 11–13 timings), the cells of one ``run`` share the harness's
+        warm :class:`CostService`: structurally identical job signatures met
+        by several cells are costed once (``OptimizerRun.cross_unit_hits``
+        counts what each cell reaped from the others).  Cells are dispatched
+        through the :class:`~repro.experiments.scheduler.ExperimentScheduler`
+        onto ``backend`` (else the harness's ``experiment_backend``, else
+        ``STUBBY_EXPERIMENT_BACKEND``, else serial); results are identical on
+        every backend at any worker count, by the same determinism contract
+        the unit search honours.
+
+        With a ``cache_path`` configured the run warm-starts from the
+        persisted store (done at harness construction) and — unless
+        ``persist=False`` — saves the store back when the cells finish, so
+        the next run's estimates start hot.
+        """
+        abbreviations = tuple(workloads) if workloads is not None else tuple(WORKLOAD_ORDER)
+        optimizer_names = tuple(optimizers)
+        scheduler = ExperimentScheduler(
+            backend if backend is not None else self.experiment_backend
+        )
+
+        # Serial, deterministic preparation: workloads are built, profiled,
+        # and reference-executed before any fan-out, so forked cell workers
+        # inherit them (workflow operators are closures — unpicklable).
+        prepare_started = time.perf_counter()
+        prepared: Dict[str, Tuple[Workload, Dict[str, list]]] = {}
+        for abbr in abbreviations:
+            workload = self.prepare_workload(abbr)
+            prepared[abbr] = (workload, self._reference_outputs(workload))
+        prepare_s = time.perf_counter() - prepare_started
+
+        cells = build_cells(abbreviations, optimizer_names, self.seed)
+        run_token = f"{os.getpid()}.{next(self._run_tokens)}"
+        cache_entries_at_start = self.costs.cache_size
+
+        def run_cell(cell: ExperimentCell) -> OptimizerRun:
+            workload, reference_outputs = prepared[cell.workload]
+            return self._run_cell(cell, workload, reference_outputs, run_token)
+
+        with StatsWindow(self.costs) as window:
+            cells_started = time.perf_counter()
+            runs = scheduler.map_cells(cells, run_cell, self.costs)
+            cells_s = time.perf_counter() - cells_started
+
+        comparisons: Dict[str, WorkloadComparison] = {}
+        for cell, run in zip(cells, runs):
+            workload, _ = prepared[cell.workload]
+            comparison = comparisons.get(cell.workload)
+            if comparison is None:
+                comparison = comparisons[cell.workload] = WorkloadComparison(
+                    abbreviation=workload.abbreviation,
+                    name=workload.name,
+                    paper_dataset_gb=workload.paper_dataset_gb,
+                    unoptimized_jobs=workload.num_jobs,
+                )
+            comparison.runs[cell.optimizer] = run
+
+        if persist and self.cache_path:
+            self.costs.save_cache()
+
+        return ExperimentRunResult(
+            comparisons=comparisons,
+            optimizers=optimizer_names,
+            backend=scheduler.spec,
+            prepare_s=prepare_s,
+            cells_s=cells_s,
+            cost_stats=window.delta,
+            warm_start_entries=(
+                self.costs.last_load.entries
+                if self.costs.last_load and self.costs.last_load.loaded
+                else 0
+            ),
+            cache_entries_at_start=cache_entries_at_start,
+            cache_path=self.cache_path,
+        )
+
+    def _run_cell(
+        self,
+        cell: ExperimentCell,
+        workload: Workload,
+        reference_outputs: Dict[str, list],
+        run_token: str,
+    ) -> OptimizerRun:
+        """Execute one cell: optimize, evaluate, attach exact per-cell stats.
+
+        Runs on whatever worker the experiment backend chose; everything
+        here must therefore be deterministic given the cell alone.  The
+        cell's cost activity is captured through a thread-local attribution
+        sink (a global stats window would double-count concurrent
+        neighbours), and its cache stores are origin-labelled so other
+        cells' reuse of them is measurable.
+        """
+        optimizer = self.make_optimizer(cell.optimizer, seed=cell.seed)
+        sink = CostServiceStats()
+        with self.costs.origin(f"{run_token}:{cell.label}"), self.costs.attribute_to(sink):
+            result = optimizer.optimize(workload.plan)
+            run = self._evaluate(result, workload, reference_outputs)
+        # The OptimizationResult's own stats window read the *global*
+        # counters, which concurrent cells pollute; the sink is exact.
+        run.whatif_queries = sink.queries
+        run.jobs_recosted = sink.jobs_recosted
+        run.cache_hit_rate = sink.cache_hit_rate
+        run.cross_unit_hits = sink.cross_origin_hits
+        run.cost_stats = sink
+        return run
+
+    def persist_cache(self) -> int:
+        """Save the cost-service store to the configured ``cache_path``.
+
+        Returns the number of entries written, or 0 when no path is
+        configured (so callers can invoke it unconditionally).
+        """
+        if not self.cache_path:
+            return 0
+        return self.costs.save_cache()
 
     def _reference_outputs(self, workload: Workload) -> Dict[str, list]:
         execution, filesystem = self.executor.execute(

@@ -1,0 +1,159 @@
+"""Experiment-level orchestration: fan (workload × optimizer) cells out.
+
+One experiment run of :class:`~repro.experiments.harness.ExperimentHarness`
+evaluates every requested optimizer on every requested workload.  Each such
+(workload, optimizer) pair is a **cell**: it builds its optimizer, optimizes
+the workload's plan, executes the optimized plan, and reports an
+:class:`~repro.experiments.harness.OptimizerRun`.  Cells are independent of
+each other's *results* — they only share the harness's
+:class:`~repro.whatif.service.CostService` — which makes them exactly the
+kind of work :mod:`repro.core.parallel` already knows how to fan out.
+
+This module provides that fan-out:
+
+* :class:`ExperimentCell` — one (workload, optimizer) pair with its
+  deterministic per-cell seed and origin label;
+* :class:`ExperimentScheduler` — opens one backend session over the cells,
+  wires the shared cost service through the session's side channel (so
+  thread cells re-attribute their stats and forked cells merge their cache
+  shards on join), and returns the per-cell results **in cell order**
+  regardless of completion order.
+
+Backend selection mirrors the unit search: a ``backend=`` argument (spec
+string or :class:`~repro.core.parallel.ExecutionBackend` instance), else the
+``STUBBY_EXPERIMENT_BACKEND`` environment variable, else serial.  The two
+levels nest: a parallel experiment backend dispatches whole cells, and each
+cell's unit search runs on its own (by default serial) search backend — see
+``docs/experiments.md`` for how to combine them without oversubscription.
+
+Determinism contract (the same one the unit search honours): a backend only
+changes *where* a cell runs.  Cell seeds derive from the cell key via
+:func:`~repro.common.hashing.stable_hash` — never from draw order on a
+shared stream — the shared cost service returns bit-identical estimates
+cached or not, and results are collected in cell order.  So every backend,
+at any worker count, reproduces the serial harness's results byte for byte
+(``tests/test_experiment_orchestration.py`` enforces it).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.hashing import stable_hash
+from repro.core.costing import cost_service_side_channel
+from repro.core.parallel import ExecutionBackend, create_backend
+from repro.whatif.service import CostService
+
+__all__ = [
+    "EXPERIMENT_BACKEND_ENV_VAR",
+    "ExperimentCell",
+    "ExperimentScheduler",
+    "build_cells",
+    "cell_seed",
+    "resolve_experiment_backend",
+]
+
+#: Environment variable consulted when no experiment backend is passed
+#: explicitly (the experiment-level sibling of ``STUBBY_SEARCH_BACKEND``).
+EXPERIMENT_BACKEND_ENV_VAR = "STUBBY_EXPERIMENT_BACKEND"
+
+
+def resolve_experiment_backend(backend) -> ExecutionBackend:
+    """Normalize an experiment-backend argument into an :class:`ExecutionBackend`.
+
+    Accepts a backend instance, a spec string (``"thread:4"``,
+    ``"process:8"``…), or ``None`` — the latter consults
+    :data:`EXPERIMENT_BACKEND_ENV_VAR` and finally falls back to serial.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(EXPERIMENT_BACKEND_ENV_VAR, "").strip() or "serial"
+    if isinstance(backend, str):
+        return create_backend(backend)
+    raise TypeError(
+        "experiment backend must be an ExecutionBackend, a spec string like "
+        "'process:4', or None"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (workload × optimizer) evaluation of an experiment run."""
+
+    index: int
+    workload: str
+    optimizer: str
+    #: Seed for the cell's optimizer, derived from the cell key alone so it
+    #: cannot depend on scheduling or on which other cells run.
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name (also the cost-service origin label)."""
+        return f"{self.workload}/{self.optimizer}"
+
+
+def cell_seed(base_seed: int, workload: str, optimizer: str) -> int:
+    """Deterministic per-cell RNG seed: a stable hash of the cell key.
+
+    Process-independent (:func:`stable_hash`), so a forked cell worker, a
+    thread, and the serial loop all hand their optimizer the same seed.
+    """
+    return stable_hash((base_seed, "experiment-cell", workload, optimizer)) & 0x7FFFFFFF
+
+
+def build_cells(
+    workloads: Sequence[str], optimizers: Sequence[str], base_seed: int
+) -> List[ExperimentCell]:
+    """The cell grid of one run, in deterministic (workload-major) order."""
+    cells: List[ExperimentCell] = []
+    for workload in workloads:
+        for optimizer in optimizers:
+            cells.append(
+                ExperimentCell(
+                    index=len(cells),
+                    workload=workload,
+                    optimizer=optimizer,
+                    seed=cell_seed(base_seed, workload, optimizer),
+                )
+            )
+    return cells
+
+
+class ExperimentScheduler:
+    """Dispatches experiment cells onto a pluggable execution backend."""
+
+    def __init__(self, backend=None) -> None:
+        self.backend = resolve_experiment_backend(backend)
+
+    @property
+    def spec(self) -> str:
+        """Spec string of the resolved backend (``"process:4"`` …)."""
+        return self.backend.spec
+
+    def map_cells(
+        self,
+        cells: Sequence[ExperimentCell],
+        run_cell: Callable[[ExperimentCell], object],
+        cost_service: Optional[CostService] = None,
+    ) -> List[object]:
+        """Run every cell and return its results in cell order.
+
+        Only the cell *index* crosses a worker boundary (cells hold workload
+        names, but a process-backend worker inherits the prepared workloads
+        by fork, exactly like the unit search inherits candidate plans);
+        responses must be plain picklable data.  When ``cost_service`` is
+        given, its side channel rides along so worker stats and cache shards
+        merge back into the shared service.
+        """
+        side = cost_service_side_channel(cost_service) if cost_service is not None else None
+        indexed = list(cells)
+
+        def worker(index: int):
+            return run_cell(indexed[index])
+
+        with self.backend.session(worker, side) as session:
+            return session.run(list(range(len(indexed))))

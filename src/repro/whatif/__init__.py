@@ -12,8 +12,14 @@ Figure 14.
 from repro.whatif.dataflow import JobDataflow
 from repro.whatif.jobmodel import JobTimeEstimate, estimate_job_time
 from repro.whatif.scheduling import workflow_makespan
-from repro.whatif.model import VertexCost, WhatIfEngine, WorkflowCostEstimate
-from repro.whatif.service import CostService, CostServiceStats
+from repro.whatif.model import COST_MODEL_VERSION, VertexCost, WhatIfEngine, WorkflowCostEstimate
+from repro.whatif.service import (
+    CacheLoadReport,
+    CostService,
+    CostServiceStats,
+    cluster_cache_key,
+    resolve_cache_path,
+)
 from repro.whatif.actual import ActualCostModel
 from repro.whatif.adjustment import (
     adjust_profile_for_horizontal_packing,
@@ -29,8 +35,12 @@ __all__ = [
     "VertexCost",
     "WhatIfEngine",
     "WorkflowCostEstimate",
+    "CacheLoadReport",
+    "COST_MODEL_VERSION",
     "CostService",
     "CostServiceStats",
+    "cluster_cache_key",
+    "resolve_cache_path",
     "ActualCostModel",
     "adjust_profile_for_intra_job_packing",
     "adjust_profile_for_inter_job_packing",

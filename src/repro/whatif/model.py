@@ -38,6 +38,13 @@ from repro.workflow.graph import JobVertex, Workflow
 #: Simulated seconds charged per job under the fallback job-count cost model.
 JOB_COUNT_COST_SECONDS = 1_000.0
 
+#: Version of the analytical cost model as a whole (dataflow derivation, job
+#: model, makespan combination).  Persisted cost caches are stamped with this
+#: value and rejected on mismatch — bump it whenever a change can alter any
+#: estimate, so stale caches self-invalidate instead of serving estimates a
+#: current computation would not produce.
+COST_MODEL_VERSION = 1
+
 #: Cap on the per-engine profile-content-key memo (see ``_profile_key``).
 _MAX_PROFILE_KEYS = 16_384
 

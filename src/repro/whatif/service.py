@@ -36,10 +36,33 @@ jobs, effectively-full estimations) that the search surfaces per candidate,
 per optimization unit, and per optimizer run; the counters are the basis of
 the ``BENCH_cost_service.json`` and ``BENCH_parallel_search.json`` perf
 trajectories.
+
+Two features support the experiment orchestration layer
+(:mod:`repro.experiments.scheduler`):
+
+* **origin attribution** — every cache entry is tagged with the label active
+  (:meth:`CostService.origin`) when it was stored; a lookup served by an
+  entry stored under a *different* label counts as a cross-origin hit
+  (``CostServiceStats.cross_origin_hits``).  The experiment harness labels
+  each (workload × optimizer) cell, so ``OptimizerRun.cross_unit_hits``
+  reports exactly how much one cell reaped from its neighbours or from a
+  warm-started cache;
+* **persistence** — :meth:`CostService.save_cache` /
+  :meth:`CostService.load_cache` write and read a versioned snapshot of the
+  signature→estimate store, keyed by the cluster spec and the cost-model
+  version (:data:`~repro.whatif.model.COST_MODEL_VERSION`), so a later run
+  against the same cluster warm-starts instead of recomputing.  Mismatched,
+  corrupt, or truncated files are rejected (never trusted partially), and
+  saves are atomic (`os.replace`) so concurrent writers cannot interleave a
+  torn file.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -48,7 +71,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.whatif.jobmodel import estimate_job_time
-from repro.whatif.model import VertexCost, WhatIfEngine, WorkflowCostEstimate
+from repro.whatif.model import COST_MODEL_VERSION, VertexCost, WhatIfEngine, WorkflowCostEstimate
 from repro.workflow.graph import Workflow
 
 #: Default bound on cached per-vertex estimates; old entries are evicted LRU.
@@ -60,6 +83,69 @@ CACHE_STRIPES = 16
 #: Cap on entries a forked worker ships back on merge-on-join; beyond this
 #: the freshest entries win (export logs are append-ordered).
 MAX_EXPORTED_ENTRIES = 20_000
+
+#: On-disk layout version of persisted cache files; files written under a
+#: different layout are rejected wholesale.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable naming a persisted-cache path; consulted by
+#: :func:`resolve_cache_path` when no explicit path is configured, so a whole
+#: stack (harness, benchmarks, examples) can opt into warm-starting from the
+#: outside.
+CACHE_PATH_ENV_VAR = "STUBBY_COST_CACHE"
+
+
+def resolve_cache_path(path: Optional[str]) -> Optional[str]:
+    """Normalize a cache-path argument: explicit path, else the environment.
+
+    ``None`` consults :data:`CACHE_PATH_ENV_VAR`; an empty string (either
+    explicit or from the environment) means "no persistence".
+    """
+    if path is not None:
+        return path or None
+    return os.environ.get(CACHE_PATH_ENV_VAR, "").strip() or None
+
+
+def cluster_cache_key(cluster: ClusterSpec) -> Tuple:
+    """Plain-data key identifying the cluster a cache was computed for.
+
+    Cached estimates carry no cluster component of their own, so a persisted
+    cache is only valid for a spec-identical cluster; the nested field tuple
+    captures every dimension the cost model reads.
+    """
+    return dataclasses.astuple(cluster)
+
+
+@dataclass(frozen=True)
+class CacheLoadReport:
+    """Outcome of one :meth:`CostService.load_cache` attempt."""
+
+    loaded: bool
+    entries: int = 0
+    reason: str = ""
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that only resolves this package's classes and safe builtins.
+
+    Cache files are data, but pickle is a program: a crafted file can name
+    any importable callable.  Persisted payloads only ever contain plain
+    containers and ``repro`` dataclasses, so everything else is refused —
+    the standard-library hardening recipe.  Treat cache paths as trusted
+    input regardless; this narrows the blast radius of a tampered file, it
+    does not make hostile files safe.
+    """
+
+    _SAFE_BUILTINS = frozenset({"frozenset", "set", "complex", "bytearray"})
+
+    def find_class(self, module, name):
+        if module == "builtins" and name in self._SAFE_BUILTINS:
+            return super().find_class(module, name)
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"cache file references forbidden global {module}.{name}"
+        )
 
 
 @dataclass
@@ -84,6 +170,11 @@ class CostServiceStats:
 
     ``fallback_queries`` counts profile-free queries answered by the trivial
     job-count model (neither cached nor worth caching).
+
+    ``cross_origin_hits`` counts the cache hits (at either level) served by
+    an entry stored under a different :meth:`CostService.origin` label than
+    the one active at lookup time — e.g. a hit on another experiment cell's
+    work, or on a warm-started persisted cache.
     """
 
     queries: int = 0
@@ -93,6 +184,7 @@ class CostServiceStats:
     job_cache_hits: int = 0
     job_dataflow_hits: int = 0
     job_full_recosts: int = 0
+    cross_origin_hits: int = 0
 
     @property
     def job_cache_misses(self) -> int:
@@ -139,6 +231,7 @@ class CostServiceStats:
         self.job_cache_hits += delta.job_cache_hits
         self.job_dataflow_hits += delta.job_dataflow_hits
         self.job_full_recosts += delta.job_full_recosts
+        self.cross_origin_hits += delta.cross_origin_hits
 
     def snapshot(self) -> "CostServiceStats":
         """Immutable copy of the current counters."""
@@ -154,6 +247,7 @@ class CostServiceStats:
             job_cache_hits=self.job_cache_hits - before.job_cache_hits,
             job_dataflow_hits=self.job_dataflow_hits - before.job_dataflow_hits,
             job_full_recosts=self.job_full_recosts - before.job_full_recosts,
+            cross_origin_hits=self.cross_origin_hits - before.cross_origin_hits,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -167,6 +261,7 @@ class CostServiceStats:
             "job_cache_hits": self.job_cache_hits,
             "job_dataflow_hits": self.job_dataflow_hits,
             "job_full_recosts": self.job_full_recosts,
+            "cross_origin_hits": self.cross_origin_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "reuse_rate": self.reuse_rate,
         }
@@ -197,6 +292,7 @@ class _ShardedCache:
         return self._shards[hash(signature) % self._stripes]
 
     def lookup(self, signature: Tuple):
+        """Return the ``(value, origin)`` pair for ``signature``, or ``None``."""
         lock, entries, _cap = self._shard(signature)
         with lock:
             entry = entries.get(signature)
@@ -204,15 +300,26 @@ class _ShardedCache:
                 entries.move_to_end(signature)
             return entry
 
-    def store(self, signature: Tuple, entry) -> bool:
-        """Insert an entry; returns True when the signature was new."""
+    def store(self, signature: Tuple, value, origin=None) -> bool:
+        """Insert a value (tagged with its origin); True when the signature was new."""
         lock, entries, cap = self._shard(signature)
         with lock:
             new = signature not in entries
-            entries[signature] = entry
+            entries[signature] = (value, origin)
             if len(entries) > cap:
                 entries.popitem(last=False)
             return new
+
+    def items(self) -> List[Tuple[Tuple, object, object]]:
+        """Snapshot of every ``(signature, value, origin)`` currently cached."""
+        snapshot: List[Tuple[Tuple, object, object]] = []
+        for lock, entries, _cap in self._shards:
+            with lock:
+                snapshot.extend(
+                    (signature, value, origin)
+                    for signature, (value, origin) in entries.items()
+                )
+        return snapshot
 
     def clear(self) -> None:
         for lock, entries, _cap in self._shards:
@@ -238,6 +345,12 @@ class CostService:
     ``enable_cache=False`` turns the service into a pass-through that costs
     every job cold (used by tests to prove the memoized results are
     identical).
+
+    ``cache_path`` opts into persistence: the constructor warm-starts from
+    the file when it exists and is valid (:attr:`last_load` records the
+    outcome either way); :meth:`save_cache` writes the current store back.
+    Loading never raises on a bad file — an invalid cache is worth exactly
+    as much as no cache.
     """
 
     def __init__(
@@ -246,6 +359,7 @@ class CostService:
         engine: Optional[WhatIfEngine] = None,
         max_cache_entries: int = DEFAULT_MAX_CACHE_ENTRIES,
         enable_cache: bool = True,
+        cache_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.engine = engine or WhatIfEngine(cluster)
@@ -259,10 +373,18 @@ class CostService:
         self._dataflow_cache = _ShardedCache(self.max_cache_entries)
         self._stats_lock = threading.Lock()
         self._sinks = threading.local()
+        self._origin = threading.local()
         #: Append-only log of entries stored since :meth:`start_export_log`;
         #: enabled only inside forked workers (single-threaded), so it needs
         #: no lock of its own.
-        self._export_log: Optional[List[Tuple[str, Tuple, object]]] = None
+        self._export_log: Optional[List[Tuple[str, Tuple, object, object]]] = None
+        #: Persistence target (``None`` disables save/load by default).
+        self.cache_path = cache_path
+        #: Outcome of the constructor's warm-start attempt (``None`` when no
+        #: ``cache_path`` was configured or caching is disabled).
+        self.last_load: Optional[CacheLoadReport] = None
+        if self.cache_path and self.enable_cache:
+            self.last_load = self.load_cache(self.cache_path)
 
     # ------------------------------------------------------------------ API
     def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
@@ -273,17 +395,19 @@ class CostService:
             self._apply_delta(delta)
             return self.engine.job_count_estimate(workflow)
 
-        # Per-query tallies: [estimate hits, dataflow hits, full recosts].
-        tallies = [0, 0, 0]
+        # Per-query tallies:
+        # [estimate hits, dataflow hits, full recosts, cross-origin hits].
+        tallies = [0, 0, 0, 0]
         estimate = self.engine.run_costing(
             workflow, lambda vertex, wf, sizes: self._cost_vertex_cached(vertex, wf, sizes, tallies)
         )
 
-        estimate_hits, dataflow_hits, full_recosts = tallies
+        estimate_hits, dataflow_hits, full_recosts, cross_origin = tallies
         delta.job_queries = estimate_hits + dataflow_hits + full_recosts
         delta.job_cache_hits = estimate_hits
         delta.job_dataflow_hits = dataflow_hits
         delta.job_full_recosts = full_recosts
+        delta.cross_origin_hits = cross_origin
         if estimate_hits == 0 and dataflow_hits == 0:
             delta.full_estimates = 1
         self._apply_delta(delta)
@@ -296,15 +420,22 @@ class CostService:
         traversal, so the service cannot drift from the cold path.
         """
         engine = self.engine
+        current_origin = self.current_origin()
         dataflow_sig = engine.vertex_dataflow_signature(vertex, workflow, sizes)
         full_sig = (dataflow_sig, engine.jobmodel_config_key(vertex.job.config))
-        costed = self._lookup(self._cache, full_sig)
-        if costed is not None:
+        cached = self._lookup(self._cache, full_sig)
+        if cached is not None:
+            costed, entry_origin = cached
             tallies[0] += 1
+            if entry_origin != current_origin:
+                tallies[3] += 1
             return costed
-        derived = self._lookup(self._dataflow_cache, dataflow_sig)
-        if derived is not None:
+        cached = self._lookup(self._dataflow_cache, dataflow_sig)
+        if cached is not None:
+            derived, entry_origin = cached
             tallies[1] += 1
+            if entry_origin != current_origin:
+                tallies[3] += 1
         else:
             tallies[2] += 1
             derived = engine.derive_vertex_dataflow(vertex, workflow, sizes)
@@ -374,13 +505,36 @@ class CostService:
         with self._stats_lock:
             return self.stats.snapshot()
 
+    # ---------------------------------------------------- origin attribution
+    @contextmanager
+    def origin(self, label: Optional[str]):
+        """Label this thread's cache activity as coming from ``label``.
+
+        Entries stored while the label is active are tagged with it; a later
+        lookup under a *different* label that hits such an entry counts as a
+        ``cross_origin_hits`` — the experiment harness's measure of how much
+        one cell reuses from other cells or from a warm-started cache.  The
+        label is thread-local (and inherited by forked workers), so
+        concurrent cells never mislabel each other's work.
+        """
+        previous = self.current_origin()
+        self._origin.label = label
+        try:
+            yield
+        finally:
+            self._origin.label = previous
+
+    def current_origin(self) -> Optional[str]:
+        """The origin label active on the calling thread (``None`` outside)."""
+        return getattr(self._origin, "label", None)
+
     # ------------------------------------------------- process merge-on-join
     def start_export_log(self) -> None:
         """Begin recording newly stored cache entries (forked workers only)."""
         self._export_log = []
 
-    def export_log_entries(self) -> List[Tuple[str, Tuple, object]]:
-        """Drain the export log: ``(level, signature, entry)`` triples.
+    def export_log_entries(self) -> List[Tuple[str, Tuple, object, object]]:
+        """Drain the export log: ``(level, signature, value, origin)`` rows.
 
         Bounded by :data:`MAX_EXPORTED_ENTRIES`, keeping the *freshest*
         entries when over budget (the log is append-ordered).
@@ -389,16 +543,120 @@ class CostService:
         self._export_log = None
         return log[-MAX_EXPORTED_ENTRIES:]
 
-    def absorb_entries(self, entries: List[Tuple[str, Tuple, object]]) -> None:
+    def absorb_entries(self, entries: List[Tuple[str, Tuple, object, object]]) -> None:
         """Merge cache entries exported by a worker into this service.
 
         Signatures are content-based and entries are exact, so merging is
         idempotent and order-independent — absorbing a duplicate simply
-        refreshes its LRU position.
+        refreshes its LRU position.  Each entry keeps the origin label it was
+        stored under, so cross-origin attribution survives the merge (and a
+        round-trip through :meth:`save_cache`/:meth:`load_cache`).
         """
-        for level, signature, entry in entries:
+        for level, signature, value, origin in entries:
             cache = self._cache if level == "estimate" else self._dataflow_cache
-            self._store(cache, level, signature, entry, log=False)
+            self._store(cache, level, signature, value, log=False, origin=origin)
+
+    # ------------------------------------------------------------ persistence
+    def save_cache(self, path: Optional[str] = None) -> int:
+        """Persist both cache levels to ``path`` (default: ``cache_path``).
+
+        The snapshot is stamped with the on-disk format version, the cost
+        model version, and the cluster key, so :meth:`load_cache` can reject
+        anything a current computation would not reproduce.  The write goes
+        through a temporary file in the target directory and an atomic
+        ``os.replace``, so concurrent writers race to a *complete* file —
+        never a torn one.  Returns the number of entries written.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no cache path configured (pass path= or set cache_path)")
+        entries = self._entries_snapshot()
+        payload = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "model_version": COST_MODEL_VERSION,
+            "cluster_key": cluster_cache_key(self.cluster),
+            "entries": entries,
+        }
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return len(entries)
+
+    def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
+        """Warm-start from a persisted cache file; never raises on bad input.
+
+        Returns a :class:`CacheLoadReport` saying whether the file was
+        absorbed and, if not, why: missing file, unreadable/corrupt/truncated
+        content, or a format/model/cluster stamp mismatch.  Rejection is
+        all-or-nothing — a cache that cannot be fully trusted contributes
+        nothing.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no cache path configured (pass path= or set cache_path)")
+        if not os.path.exists(path):
+            return CacheLoadReport(loaded=False, reason="no cache file")
+        try:
+            with open(path, "rb") as handle:
+                payload = _RestrictedUnpickler(handle).load()
+        except Exception as exc:  # corrupt, truncated, or not a pickle at all
+            return CacheLoadReport(
+                loaded=False, reason=f"unreadable cache file ({type(exc).__name__})"
+            )
+        if not isinstance(payload, dict):
+            return CacheLoadReport(loaded=False, reason="malformed cache payload")
+        if payload.get("format_version") != CACHE_FORMAT_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"format version mismatch ({payload.get('format_version')!r} "
+                f"!= {CACHE_FORMAT_VERSION!r})",
+            )
+        if payload.get("model_version") != COST_MODEL_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"cost model version mismatch ({payload.get('model_version')!r} "
+                f"!= {COST_MODEL_VERSION!r})",
+            )
+        if payload.get("cluster_key") != cluster_cache_key(self.cluster):
+            return CacheLoadReport(
+                loaded=False, reason="cache was computed for a different ClusterSpec"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return CacheLoadReport(loaded=False, reason="malformed cache payload")
+        # Validate every row *before* absorbing any, so rejection really is
+        # all-or-nothing — a file that is half right contributes nothing.
+        for row in entries:
+            if not (
+                isinstance(row, tuple)
+                and len(row) == 4
+                and row[0] in ("estimate", "dataflow")
+                and isinstance(row[1], tuple)
+            ):
+                return CacheLoadReport(loaded=False, reason="malformed cache entries")
+        self.absorb_entries(entries)
+        return CacheLoadReport(loaded=True, entries=len(entries), reason="ok")
+
+    def _entries_snapshot(self) -> List[Tuple[str, Tuple, object, object]]:
+        """Both cache levels as the plain rows :meth:`absorb_entries` accepts."""
+        rows: List[Tuple[str, Tuple, object, object]] = []
+        for level, cache in (("estimate", self._cache), ("dataflow", self._dataflow_cache)):
+            rows.extend(
+                (level, signature, value, origin) for signature, value, origin in cache.items()
+            )
+        return rows
 
     # ------------------------------------------------------------ cache mgmt
     def invalidate(self) -> None:
@@ -416,12 +674,22 @@ class CostService:
             return None
         return cache.lookup(signature)
 
-    def _store(self, cache: _ShardedCache, level: str, signature: Tuple, entry, log: bool = True) -> None:
+    def _store(
+        self,
+        cache: _ShardedCache,
+        level: str,
+        signature: Tuple,
+        value,
+        log: bool = True,
+        origin=None,
+    ) -> None:
         if not self.enable_cache:
             return
-        new = cache.store(signature, entry)
+        if origin is None:
+            origin = self.current_origin()
+        new = cache.store(signature, value, origin)
         if new and log and self._export_log is not None:
-            self._export_log.append((level, signature, entry))
+            self._export_log.append((level, signature, value, origin))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,10 +1,16 @@
-"""Dead-link check over the repository documentation.
+"""Dead-link and dead-anchor check over the repository documentation.
 
-Walks ``README.md`` and every Markdown file under ``docs/`` and fails on any
-relative link whose target does not exist (anchors and external URLs are out
-of scope).  Running inside the tier-1 suite keeps the docs build-out honest:
-a renamed doc or a stale cross-reference breaks the build, not a reader.
-CI additionally runs this file as an explicit docs-link-check step.
+Walks ``README.md`` and every Markdown file under ``docs/`` and fails on:
+
+* any relative link whose target file does not exist;
+* any ``#fragment`` — intra-doc (``#section``) or cross-doc
+  (``other.md#section``) — that does not match a heading anchor of the
+  target, using GitHub's heading→anchor slug rules.
+
+External URLs are out of scope.  Running inside the tier-1 suite keeps the
+docs build-out honest: a renamed doc, a reworded heading, or a stale
+cross-reference breaks the build, not a reader.  CI additionally runs this
+file as an explicit docs-link-check step.
 """
 
 import os
@@ -18,6 +24,19 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: used in this repo's docs.
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: ATX headings (``#`` .. ``######``), the only heading style used here.
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.+?)\s*$", re.MULTILINE)
+
+#: Every doc page the index must reach (kept in sync with docs/index.md).
+REQUIRED_DOCS = (
+    "index.md",
+    "architecture.md",
+    "search.md",
+    "costing.md",
+    "verification.md",
+    "experiments.md",
+)
+
 
 def _markdown_files():
     files = [os.path.join(REPO_ROOT, "README.md")]
@@ -28,21 +47,56 @@ def _markdown_files():
     return [path for path in files if os.path.exists(path)]
 
 
-def _relative_links(path):
+def _prose(path):
+    """File content with fenced code blocks stripped (their text is not
+    Markdown: link-like or heading-like lines inside them do not count)."""
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
-    # Strip fenced code blocks: link-like text inside them is not a link.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    for target in LINK_PATTERN.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _relative_links(path):
+    """Yield every relative link target (possibly carrying a #fragment)."""
+    for target in LINK_PATTERN.findall(_prose(path)):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
         yield target
 
 
+def _github_slug(heading):
+    """GitHub's heading→anchor slug: the id ``#fragment`` links resolve to."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)  # punctuation is dropped
+    return text.replace(" ", "-")
+
+
+def _anchors(path):
+    """All heading anchors of one file, with GitHub's -1/-2 dedup suffixes."""
+    anchors = set()
+    seen = {}
+    for _hashes, heading in HEADING_PATTERN.findall(_prose(path)):
+        slug = _github_slug(heading)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
 def test_readme_and_docs_exist():
     assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
-    for name in ("index.md", "architecture.md", "search.md", "costing.md", "verification.md"):
+    for name in REQUIRED_DOCS:
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
+
+
+def test_index_reaches_every_doc_page():
+    """Every page under docs/ is linked (directly) from docs/index.md."""
+    index = os.path.join(REPO_ROOT, "docs", "index.md")
+    linked = {target.split("#", 1)[0] for target in _relative_links(index)}
+    for name in sorted(os.listdir(os.path.join(REPO_ROOT, "docs"))):
+        if name.endswith(".md") and name != "index.md":
+            assert name in linked, f"docs/index.md does not link docs/{name}"
 
 
 @pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT))
@@ -50,9 +104,31 @@ def test_no_dead_relative_links(path):
     broken = []
     base = os.path.dirname(path)
     for target in _relative_links(path):
-        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue  # intra-doc anchors are checked below
+        resolved = os.path.normpath(os.path.join(base, file_part))
         if not os.path.exists(resolved):
             broken.append(target)
     assert not broken, (
         f"{os.path.relpath(path, REPO_ROOT)} has dead relative link(s): {broken}"
+    )
+
+
+@pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_no_dead_anchor_fragments(path):
+    broken = []
+    base = os.path.dirname(path)
+    for target in _relative_links(path):
+        if "#" not in target:
+            continue
+        file_part, fragment = target.split("#", 1)
+        resolved = path if not file_part else os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved) or not resolved.endswith(".md"):
+            continue  # dead files are reported by the link test above
+        if fragment not in _anchors(resolved):
+            broken.append(target)
+    assert not broken, (
+        f"{os.path.relpath(path, REPO_ROOT)} links to missing heading anchor(s): "
+        f"{broken}"
     )

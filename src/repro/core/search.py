@@ -464,7 +464,11 @@ class StubbySearch:
         return cost, settings, evaluations, stats
 
     def _evaluate_point(self, task: _CostTask, point: Mapping[str, object]) -> float:
-        """Objective value of one RRS configuration sample for a candidate."""
+        """Objective value of one RRS configuration sample for a candidate.
+
+        The hottest loop of the whole search: one CoW plan clone per sample,
+        privatizing only the jobs whose configuration the sample moves.
+        """
         candidate = task.record.plan.copy()
         ConfigurationTransformation.apply_settings_in_place(candidate, self._split_point(point))
         return self.costs.estimate_workflow(candidate.workflow).total_s
@@ -476,7 +480,12 @@ class StubbySearch:
         unit: OptimizationUnit,
         transformations: Sequence[Transformation],
     ) -> List[SubplanRecord]:
-        """Exhaustively enumerate the unit's subplans (configuration excluded)."""
+        """Exhaustively enumerate the unit's subplans (configuration excluded).
+
+        Candidate plans are copy-on-write clones: each application privatizes
+        only the vertices its rewrite touches, so enumerating (and later
+        re-costing) a candidate costs O(vertices touched), not O(workflow).
+        """
         structural = [t for t in transformations if t.name != ConfigurationTransformation.name]
         initial = SubplanRecord(plan=plan.copy(), transformations=())
         seen = {plan.signature()}

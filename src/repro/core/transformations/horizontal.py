@@ -180,6 +180,12 @@ class HorizontalPacking(Transformation):
 
     # --------------------------------------------------------------- apply
     def apply(self, plan: Plan, application: TransformationApplication) -> Plan:
+        # Copy-on-write safe without explicit privatization: the packed
+        # vertex is built from *copied* pipelines (the sources stay shared
+        # with the parent plan, untouched), and ``replace_job``/``remove_job``
+        # only touch this plan's own mappings.  Copying the pipelines keeps
+        # the CoW invariant that an owned vertex's payload is private, so a
+        # later in-place edit (partition pruning) cannot reach a sibling.
         new_plan = plan.copy()
         workflow = new_plan.workflow
         names = list(application.target_jobs)

@@ -102,6 +102,10 @@ class InterJobVerticalPacking(Transformation):
 
     # --------------------------------------------------------------- apply
     def apply(self, plan: Plan, application: TransformationApplication) -> Plan:
+        # Copy-on-write safe without explicit privatization: the producer and
+        # consumer vertices are only *read* (``_merged_annotations`` copies
+        # before mutating), and the merged vertex is built fresh —
+        # ``replace_job``/``remove_job`` only touch this plan's own mappings.
         new_plan = plan.copy()
         workflow = new_plan.workflow
         producer_name, consumer_name = application.target_jobs

@@ -160,31 +160,35 @@ class IntraJobVerticalPacking(Transformation):
 
     # -------------------------------------------------------------- apply
     def apply(self, plan: Plan, application: TransformationApplication) -> Plan:
+        # The rewrite is local: only the producer and consumer vertices are
+        # privatized (copy-on-write); every other vertex stays shared with
+        # the input plan.
         new_plan = plan.copy()
         workflow = new_plan.workflow
         case = application.details["case"]
 
         consumer_name = application.target_jobs[-1]
-        consumer = workflow.job(consumer_name)
+        consumer = workflow.update_job(consumer_name, self._packed_map_only_job)
         original_consumer_profile = consumer.annotations.profile
-        self._make_consumer_map_only(consumer)
 
         producer_profile = None
         if case == "one-to-one":
             producer_name = application.target_jobs[0]
-            producer = workflow.job(producer_name)
-            producer_profile = producer.annotations.profile
             intersection = tuple(application.details["intersection"])
             combined_sort = tuple(application.details["combined_sort"])
-            kind = producer.job.effective_partitioner.kind
-            split_points = producer.job.effective_partitioner.split_points
+            old_partitioner = workflow.job(producer_name).job.effective_partitioner
+            kind = old_partitioner.kind
+            split_points = old_partitioner.split_points
             new_partitioner = PartitionFunction(
                 kind=kind if kind == "range" and split_points else "hash",
                 fields=intersection,
                 sort_fields=combined_sort,
                 split_points=split_points if kind == "range" else (),
             )
-            producer.job = producer.job.with_partitioner(new_partitioner)
+            producer = workflow.update_job(
+                producer_name, lambda job: job.with_partitioner(new_partitioner)
+            )
+            producer_profile = producer.annotations.profile
             producer.annotations.partition_constraint = new_partitioner
             producer.annotations.conditions["chained_consumer"] = consumer_name
 
@@ -197,8 +201,8 @@ class IntraJobVerticalPacking(Transformation):
         return self._record(new_plan, application)
 
     @staticmethod
-    def _make_consumer_map_only(consumer: JobVertex) -> None:
-        job = consumer.job
+    def _packed_map_only_job(job) -> "MapReduceJob":
+        """The consumer's job rewritten map-only (fresh job, input untouched)."""
         old = job.pipelines[0]
         packed = Pipeline(
             tag=old.tag,
@@ -212,7 +216,7 @@ class IntraJobVerticalPacking(Transformation):
             num_reduce_tasks=0,
             max_parallel_maps_per_producer_reduce=1,
         )
-        consumer.job = type(job)(
+        return type(job)(
             name=job.name,
             pipelines=[packed],
             partitioner=None,

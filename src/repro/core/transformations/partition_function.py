@@ -209,6 +209,9 @@ class PartitionFunctionTransformation(Transformation):
 
     # --------------------------------------------------------------- apply
     def apply(self, plan: Plan, application: TransformationApplication) -> Plan:
+        # Copy-on-write: only the producer and the consumers whose pruning
+        # filters actually change are privatized; untouched vertices stay
+        # shared with the input plan.
         new_plan = plan.copy()
         workflow = new_plan.workflow
         dataset_name = application.details["dataset"]
@@ -218,38 +221,48 @@ class PartitionFunctionTransformation(Transformation):
 
         if application.details.get("case") == "base-dataset-pruning":
             ranges = RangePartitioning(field=field_name, split_points=split_points)
-            for consumer_name, (low, high) in consumer_filters.items():
-                if not workflow.has_job(consumer_name):
-                    continue
-                consumer = workflow.job(consumer_name)
-                allowed = ranges.partitions_overlapping(low, high)
-                if not allowed:
-                    continue
-                for pipeline in consumer.job.pipelines:
-                    if pipeline.reads(dataset_name):
-                        pipeline.input_partition_filter[dataset_name] = tuple(allowed)
+            self._apply_consumer_filters(workflow, ranges, dataset_name, consumer_filters)
             return self._record(new_plan, application)
 
         producer_name = application.target_jobs[0]
-        producer = workflow.job(producer_name)
+        sort_fields = workflow.job(producer_name).job.effective_partitioner.effective_sort_fields
         new_partitioner = PartitionFunction(
             kind="range",
             fields=(field_name,),
-            sort_fields=producer.job.effective_partitioner.effective_sort_fields,
+            sort_fields=sort_fields,
             split_points=split_points,
         )
-        producer.job = producer.job.with_partitioner(new_partitioner)
+        workflow.update_job(producer_name, lambda job: job.with_partitioner(new_partitioner))
 
         ranges = RangePartitioning(field=field_name, split_points=split_points)
+        self._apply_consumer_filters(workflow, ranges, dataset_name, consumer_filters)
+        return self._record(new_plan, application)
+
+    @staticmethod
+    def _apply_consumer_filters(
+        workflow,
+        ranges: RangePartitioning,
+        dataset_name: str,
+        consumer_filters: Dict[str, Tuple[float, float]],
+    ) -> None:
+        """Set partition-pruning filters on each consumer's reading pipelines.
+
+        Pipelines are mutated in place, so each touched consumer is
+        privatized first — ``mutate_job`` with a full job copy guarantees
+        the pipelines edited here belong to this workflow alone.
+        """
         for consumer_name, (low, high) in consumer_filters.items():
             if not workflow.has_job(consumer_name):
                 continue
-            consumer = workflow.job(consumer_name)
             allowed = ranges.partitions_overlapping(low, high)
             if not allowed:
                 continue
+            if not any(
+                pipeline.reads(dataset_name)
+                for pipeline in workflow.job(consumer_name).job.pipelines
+            ):
+                continue
+            consumer = workflow.mutate_job(consumer_name)
             for pipeline in consumer.job.pipelines:
                 if pipeline.reads(dataset_name):
                     pipeline.input_partition_filter[dataset_name] = tuple(allowed)
-
-        return self._record(new_plan, application)

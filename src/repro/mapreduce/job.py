@@ -93,19 +93,31 @@ class MapReduceJob:
 
     # ------------------------------------------------------------- mutation
     def with_config(self, config: JobConfig) -> "MapReduceJob":
-        """Copy of this job with a different configuration."""
+        """Copy of this job with a different configuration.
+
+        The pipeline *objects* are shared with the source job (fresh list,
+        same pipelines): configurations live on the job, so a config-only
+        derivation needs no pipeline copies — the allocation that used to
+        dominate the RRS sampling loop.  Nothing mutates pipelines in place
+        except the partition-function transformation, which goes through the
+        workflow CoW layer (:meth:`repro.workflow.graph.Workflow.mutate_job`)
+        and receives privately copied pipelines first.
+        """
         return MapReduceJob(
             name=self.name,
-            pipelines=[p.copy() for p in self.pipelines],
+            pipelines=list(self.pipelines),
             partitioner=self.partitioner,
             config=config,
         )
 
     def with_partitioner(self, partitioner: PartitionFunction) -> "MapReduceJob":
-        """Copy of this job with a different partition function."""
+        """Copy of this job with a different partition function.
+
+        Shares pipeline objects with the source, like :meth:`with_config`.
+        """
         return MapReduceJob(
             name=self.name,
-            pipelines=[p.copy() for p in self.pipelines],
+            pipelines=list(self.pipelines),
             partitioner=partitioner,
             config=self.config,
         )

@@ -17,9 +17,14 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobDataflow:
     """Byte/record flow through one MapReduce job.
+
+    ``slots=True``: dataflows are minted once per re-costed job in the
+    optimizer's hot loop, so the slots layout trades the per-instance
+    ``__dict__`` for a flat, smaller allocation (measured by the allocation
+    probe in ``benchmarks/test_bench_plan_cow.py``).
 
     All byte and record quantities are *logical* (paper-scale) values: the
     evaluation datasets are generated at MB scale and scaled up through the

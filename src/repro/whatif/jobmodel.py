@@ -39,9 +39,9 @@ DECOMPRESSION_CPU_S_PER_MB = 0.006
 PIPELINE_CONTENTION_FACTOR = 0.04
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobTimeEstimate:
-    """Phase-by-phase time estimate of one job."""
+    """Phase-by-phase time estimate of one job (slots: hot-loop allocation)."""
 
     map_phase_s: float
     shuffle_s: float

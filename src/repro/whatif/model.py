@@ -48,6 +48,11 @@ COST_MODEL_VERSION = 1
 #: Cap on the per-engine profile-content-key memo (see ``_profile_key``).
 _MAX_PROFILE_KEYS = 16_384
 
+#: Cap on the per-engine vertex local-signature memo (see
+#: ``_vertex_local_key``); entries pin their vertex, so the cap also bounds
+#: how many otherwise-dead vertices the memo keeps alive.
+_MAX_VERTEX_KEYS = 65_536
+
 
 @dataclass
 class WorkflowCostEstimate:
@@ -70,7 +75,7 @@ class WorkflowCostEstimate:
         return self.per_job[name].total_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _PipelineFlow:
     """Intermediate per-pipeline dataflow derived while costing a job."""
 
@@ -84,7 +89,7 @@ class _PipelineFlow:
     output_dataset: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VertexCost:
     """Result of costing one job vertex: the estimate plus its size effects.
 
@@ -98,6 +103,40 @@ class VertexCost:
     output_contributions: Tuple[Tuple[str, float, float], ...]
 
 
+@dataclass(frozen=True, slots=True)
+class _PipelineLocalKey:
+    """The vertex-content half of one pipeline's signature part.
+
+    ``inputs`` keeps ``(dataset_name, allowed_partitions)`` pairs; the
+    query-dependent facts (current dataset sizes, producer partition counts)
+    are filled in per query by :meth:`WhatIfEngine.vertex_dataflow_signature`.
+    """
+
+    inputs: Tuple[Tuple[str, Optional[Tuple[int, ...]]], ...]
+    map_ops: Tuple[Tuple[str, float], ...]
+    reduce_ops: Tuple[Tuple[str, float, Tuple[str, ...]], ...]
+    output_dataset: str
+
+
+@dataclass(frozen=True, slots=True)
+class _VertexLocalKey:
+    """Everything a vertex's dataflow signature reads from the vertex itself.
+
+    Memoized per shared-vertex identity: under copy-on-write plans an
+    unchanged vertex is literally the same object across candidate plans, so
+    its local key — the expensive part of the signature, walking every
+    pipeline and operator — is derived once and reused by every candidate
+    costing query.  Only the cheap query context (dataset sizes, producer
+    partition counts, the chaining constraint's task count) is recomputed.
+    """
+
+    pipelines: Tuple[_PipelineLocalKey, ...]
+    partitioner_fields: Tuple[str, ...]
+    combiner_active: bool
+    profile_key: Optional[Tuple]
+    chained_input: bool
+
+
 class WhatIfEngine:
     """Analytical cost estimation for annotated MapReduce workflows."""
 
@@ -105,6 +144,29 @@ class WhatIfEngine:
         self.cluster = cluster
         #: id(profile) -> (pinned profile, content key); see ``_profile_key``.
         self._profile_keys: Dict[int, Tuple[ProfileAnnotation, Tuple]] = {}
+        #: id(vertex) -> (pinned vertex, pinned job, pinned profile, local
+        #: key); the whole-vertex extension of the ``_profile_key`` pattern.
+        #: Valid while the pinned vertex still carries the pinned job and
+        #: profile objects — any CoW privatization produces a new vertex (new
+        #: id), and the rebind guards catch in-place ``.job`` / ``.profile``
+        #: swaps on a surviving vertex.
+        self._vertex_keys: Dict[int, Tuple[JobVertex, MapReduceJob, object, _VertexLocalKey]] = {}
+        #: id(pipeline) -> (pinned pipeline, pipeline local key).  Pipelines
+        #: are shared across config-only job derivations
+        #: (:meth:`~repro.mapreduce.job.MapReduceJob.with_config`), so the
+        #: per-pipeline keys survive RRS configuration samples even though
+        #: each sample privatizes (re-creates) the tuned job's vertex.
+        self._pipeline_keys: Dict[int, Tuple[object, _PipelineLocalKey]] = {}
+        #: Incremental-signature counters (the ``BENCH_plan_cow.json``
+        #: contract): how many vertex signatures were derived by walking the
+        #: vertex (``signature_derivations``) vs. served from the identity
+        #: memo (``signature_memo_hits``).
+        self.signature_derivations = 0
+        self.signature_memo_hits = 0
+        #: Benchmark baseline switch: with the memo off every signature pays
+        #: the full derivation walk (the pre-incremental behaviour); results
+        #: are identical either way.
+        self.signature_memo_enabled = True
 
     # ------------------------------------------------------------------ API
     def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
@@ -214,13 +276,20 @@ class WhatIfEngine:
         partition-pruning filter, chained map tasks only under the chaining
         constraint — so a config change on a producer does not spuriously
         invalidate consumers.
+
+        The signature is assembled **incrementally**: the vertex-content half
+        (pipelines, operators, partitioner, profile key) is memoized per
+        vertex identity (``_vertex_local_key``), so under copy-on-write plans
+        only a candidate's *dirty* vertices — the ones its rewrite privatized
+        — ever pay the full derivation walk.  The assembled tuple is
+        bit-identical to a from-scratch derivation, so cache keys (and
+        persisted caches) are unaffected by where the parts came from.
         """
-        job = vertex.job
+        local = self._vertex_local_key(vertex)
         pipeline_parts = []
-        for pipeline in job.pipelines:
+        for pipeline_key in local.pipelines:
             inputs = []
-            for dataset_name in pipeline.input_datasets:
-                allowed = pipeline.allowed_partitions(dataset_name)
+            for dataset_name, allowed in pipeline_key.inputs:
                 partition_count = (
                     self._dataset_partition_count(dataset_name, workflow)
                     if allowed is not None
@@ -232,22 +301,97 @@ class WhatIfEngine:
             pipeline_parts.append(
                 (
                     tuple(inputs),
-                    tuple((op.name, op.cpu_cost_per_record) for op in pipeline.map_ops),
-                    tuple(
-                        (op.name, op.cpu_cost_per_record, op.group_fields)
-                        for op in pipeline.reduce_ops
-                    ),
-                    pipeline.output_dataset,
+                    pipeline_key.map_ops,
+                    pipeline_key.reduce_ops,
+                    pipeline_key.output_dataset,
                 )
             )
-        config = job.config
+        chained_map_tasks = (
+            self._chained_map_tasks(vertex, workflow) if local.chained_input else None
+        )
         return (
             tuple(pipeline_parts),
-            tuple(job.effective_partitioner.fields),
-            job.has_combiner and config.combiner_enabled,
-            self._profile_key(vertex.annotations.profile),
-            (config.chained_input, self._chained_map_tasks(vertex, workflow)),
+            local.partitioner_fields,
+            local.combiner_active,
+            local.profile_key,
+            (local.chained_input, chained_map_tasks),
         )
+
+    def _vertex_local_key(self, vertex: JobVertex) -> _VertexLocalKey:
+        """The vertex-content half of the signature, memoized by identity.
+
+        Two memo levels, mirroring what copy-on-write plans actually share:
+
+        * **vertex level** — an unchanged vertex is the *same object* across
+          CoW plan copies, so its complete local key is served by identity
+          (pinning the vertex keeps the id stable; the job/profile rebind
+          guards catch in-place swaps on a surviving owned vertex);
+        * **pipeline level** — a config-only derivation
+          (:meth:`~repro.mapreduce.job.MapReduceJob.with_config`, the RRS
+          sampling loop) creates a fresh vertex but *shares* the pipeline
+          objects, so the expensive operator walks are reused per pipeline
+          and only the cheap job-level facts (partitioner fields, combiner
+          flag, profile key, chaining) are re-read.
+
+        ``signature_derivations`` counts the vertices whose key required at
+        least one real pipeline walk — the dirty cone; everything else is a
+        ``signature_memo_hits``.
+        """
+        memo = self.signature_memo_enabled
+        entry = self._vertex_keys.get(id(vertex)) if memo else None
+        if (
+            entry is not None
+            and entry[0] is vertex
+            and entry[1] is vertex.job
+            and entry[2] is vertex.annotations.profile
+        ):
+            self.signature_memo_hits += 1
+            return entry[3]
+
+        job = vertex.job
+        config = job.config
+        walked = False
+        pipeline_keys = []
+        for pipeline in job.pipelines:
+            pipeline_entry = self._pipeline_keys.get(id(pipeline)) if memo else None
+            if pipeline_entry is not None and pipeline_entry[0] is pipeline:
+                pipeline_keys.append(pipeline_entry[1])
+                continue
+            walked = True
+            key = _PipelineLocalKey(
+                inputs=tuple(
+                    (dataset_name, pipeline.allowed_partitions(dataset_name))
+                    for dataset_name in pipeline.input_datasets
+                ),
+                map_ops=tuple((op.name, op.cpu_cost_per_record) for op in pipeline.map_ops),
+                reduce_ops=tuple(
+                    (op.name, op.cpu_cost_per_record, op.group_fields)
+                    for op in pipeline.reduce_ops
+                ),
+                output_dataset=pipeline.output_dataset,
+            )
+            pipeline_keys.append(key)
+            if memo:
+                if len(self._pipeline_keys) >= _MAX_VERTEX_KEYS:
+                    self._pipeline_keys.clear()
+                self._pipeline_keys[id(pipeline)] = (pipeline, key)
+
+        if walked:
+            self.signature_derivations += 1
+        else:
+            self.signature_memo_hits += 1
+        local = _VertexLocalKey(
+            pipelines=tuple(pipeline_keys),
+            partitioner_fields=tuple(job.effective_partitioner.fields),
+            combiner_active=job.has_combiner and config.combiner_enabled,
+            profile_key=self._profile_key(vertex.annotations.profile),
+            chained_input=config.chained_input,
+        )
+        if memo:
+            if len(self._vertex_keys) >= _MAX_VERTEX_KEYS:
+                self._vertex_keys.clear()
+            self._vertex_keys[id(vertex)] = (vertex, job, vertex.annotations.profile, local)
+        return local
 
     @staticmethod
     def jobmodel_config_key(config) -> Tuple:

@@ -52,9 +52,11 @@ Two features support the experiment orchestration layer
   signature→estimate store, keyed by the cluster spec and the cost-model
   version (:data:`~repro.whatif.model.COST_MODEL_VERSION`), so a later run
   against the same cluster warm-starts instead of recomputing.  Mismatched,
-  corrupt, or truncated files are rejected (never trusted partially), and
-  saves are atomic (`os.replace`) so concurrent writers cannot interleave a
-  torn file.
+  corrupt, or truncated files are rejected (never trusted partially), saves
+  are atomic (`os.replace`) so concurrent writers cannot interleave a torn
+  file, and saves can **compact**: ``save_cache(max_entries=...)`` (or the
+  ``STUBBY_COST_CACHE_MAX_ENTRIES`` environment variable) writes only the
+  most-recently-used entries, bounding long-lived cache files.
 """
 
 from __future__ import annotations
@@ -85,14 +87,41 @@ CACHE_STRIPES = 16
 MAX_EXPORTED_ENTRIES = 20_000
 
 #: On-disk layout version of persisted cache files; files written under a
-#: different layout are rejected wholesale.
-CACHE_FORMAT_VERSION = 1
+#: different layout are rejected wholesale.  Version 2: the cached value
+#: classes (:class:`~repro.whatif.model.VertexCost`,
+#: :class:`~repro.whatif.jobmodel.JobTimeEstimate`, ...) moved to
+#: ``__slots__`` layouts, which version-1 pickles cannot restore into.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable naming a persisted-cache path; consulted by
 #: :func:`resolve_cache_path` when no explicit path is configured, so a whole
 #: stack (harness, benchmarks, examples) can opt into warm-starting from the
 #: outside.
 CACHE_PATH_ENV_VAR = "STUBBY_COST_CACHE"
+
+#: Environment variable bounding how many entries :meth:`CostService.save_cache`
+#: writes when the caller passes no explicit ``max_entries`` — the compaction
+#: knob that keeps long-lived ``STUBBY_COST_CACHE`` files from growing without
+#: bound.  Empty/absent means "write everything".
+CACHE_MAX_ENTRIES_ENV_VAR = "STUBBY_COST_CACHE_MAX_ENTRIES"
+
+
+def resolve_cache_max_entries(max_entries: Optional[int]) -> Optional[int]:
+    """Normalize the save-compaction bound: explicit argument, else environment.
+
+    ``None`` consults :data:`CACHE_MAX_ENTRIES_ENV_VAR`; a missing, empty, or
+    malformed value means "no bound".  Non-positive bounds are treated as
+    "no bound" as well — an empty persisted cache is never useful.
+    """
+    if max_entries is None:
+        raw = os.environ.get(CACHE_MAX_ENTRIES_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        try:
+            max_entries = int(raw)
+        except ValueError:
+            return None
+    return max_entries if max_entries > 0 else None
 
 
 def resolve_cache_path(path: Optional[str]) -> Optional[str]:
@@ -313,12 +342,24 @@ class _ShardedCache:
     def items(self) -> List[Tuple[Tuple, object, object]]:
         """Snapshot of every ``(signature, value, origin)`` currently cached."""
         snapshot: List[Tuple[Tuple, object, object]] = []
+        for rows in self.shard_items():
+            snapshot.extend(rows)
+        return snapshot
+
+    def shard_items(self) -> List[List[Tuple[Tuple, object, object]]]:
+        """Per-shard snapshots, each in LRU→MRU order.
+
+        Each stripe lock is held only for the raw ``dict.items()`` copy; the
+        row tuples are built outside the lock, so a concurrent worker merge
+        (or a big save) no longer stalls lookups for the whole rebuild.
+        """
+        snapshot: List[List[Tuple[Tuple, object, object]]] = []
         for lock, entries, _cap in self._shards:
             with lock:
-                snapshot.extend(
-                    (signature, value, origin)
-                    for signature, (value, origin) in entries.items()
-                )
+                raw = list(entries.items())
+            snapshot.append(
+                [(signature, value, origin) for signature, (value, origin) in raw]
+            )
         return snapshot
 
     def clear(self) -> None:
@@ -337,8 +378,10 @@ class CostService:
     :class:`~repro.core.optimizer.StubbyOptimizer`, and the baseline
     optimizers go through one service instance, so cache entries are shared
     across candidate subplans, RRS samples, units, and phases — candidate
-    plans are deep copies, but the content-based vertex signatures make the
-    copies cache-transparent.  One instance may be queried from several
+    plans are copy-on-write clones whose unchanged vertices are *shared
+    objects*, so their signatures come from the engine's identity memo, and
+    the content-based keys make even privatized copies cache-transparent.
+    One instance may be queried from several
     search threads concurrently; see the module docstring for the
     concurrency model.
 
@@ -557,7 +600,7 @@ class CostService:
             self._store(cache, level, signature, value, log=False, origin=origin)
 
     # ------------------------------------------------------------ persistence
-    def save_cache(self, path: Optional[str] = None) -> int:
+    def save_cache(self, path: Optional[str] = None, max_entries: Optional[int] = None) -> int:
         """Persist both cache levels to ``path`` (default: ``cache_path``).
 
         The snapshot is stamped with the on-disk format version, the cost
@@ -566,11 +609,20 @@ class CostService:
         through a temporary file in the target directory and an atomic
         ``os.replace``, so concurrent writers race to a *complete* file —
         never a torn one.  Returns the number of entries written.
+
+        ``max_entries`` (default: the ``STUBBY_COST_CACHE_MAX_ENTRIES``
+        environment variable; unset means unbounded) **compacts on persist**:
+        only the most-recently-used entries are written, so a long-lived
+        cache file stops growing without bound across runs.  Recency is
+        tracked per stripe (each shard's LRU order); the compacted snapshot
+        drains the stripes' MRU ends round-robin, which preserves global
+        recency up to stripe granularity.  A compacted file is an ordinary
+        cache file — loading it is just a smaller warm start.
         """
         path = path or self.cache_path
         if not path:
             raise ValueError("no cache path configured (pass path= or set cache_path)")
-        entries = self._entries_snapshot()
+        entries = self._entries_snapshot(resolve_cache_max_entries(max_entries))
         payload = {
             "format_version": CACHE_FORMAT_VERSION,
             "model_version": COST_MODEL_VERSION,
@@ -649,14 +701,40 @@ class CostService:
         self.absorb_entries(entries)
         return CacheLoadReport(loaded=True, entries=len(entries), reason="ok")
 
-    def _entries_snapshot(self) -> List[Tuple[str, Tuple, object, object]]:
-        """Both cache levels as the plain rows :meth:`absorb_entries` accepts."""
-        rows: List[Tuple[str, Tuple, object, object]] = []
+    def _entries_snapshot(
+        self, max_entries: Optional[int] = None
+    ) -> List[Tuple[str, Tuple, object, object]]:
+        """Both cache levels as the plain rows :meth:`absorb_entries` accepts.
+
+        With ``max_entries`` set, keeps only the most-recently-used rows:
+        every (level, stripe) list arrives in LRU→MRU order, so the bound is
+        filled by draining the MRU ends round-robin across all stripes of
+        both levels.  Rows are returned oldest-first either way, so a later
+        :meth:`absorb_entries` re-establishes the same relative recency.
+        """
+        per_stripe: List[List[Tuple[str, Tuple, object, object]]] = []
+        total = 0
         for level, cache in (("estimate", self._cache), ("dataflow", self._dataflow_cache)):
-            rows.extend(
-                (level, signature, value, origin) for signature, value, origin in cache.items()
-            )
-        return rows
+            for rows in cache.shard_items():
+                stamped = [(level, signature, value, origin) for signature, value, origin in rows]
+                per_stripe.append(stamped)
+                total += len(stamped)
+
+        if max_entries is None or total <= max_entries:
+            return [row for rows in per_stripe for row in rows]
+
+        remaining = [len(rows) for rows in per_stripe]
+        kept: List[Tuple[str, Tuple, object, object]] = []
+        while len(kept) < max_entries:
+            for index, rows in enumerate(per_stripe):
+                if remaining[index] == 0:
+                    continue
+                remaining[index] -= 1
+                kept.append(rows[remaining[index]])
+                if len(kept) >= max_entries:
+                    break
+        kept.reverse()
+        return kept
 
     # ------------------------------------------------------------ cache mgmt
     def invalidate(self) -> None:

@@ -344,9 +344,12 @@ class ProfileAnnotation:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class JobAnnotations:
     """All annotations attached to one job vertex.
+
+    ``slots=True``: the container is copied once per vertex privatized by a
+    copy-on-write plan mutation — a hot allocation in the enumeration loop.
 
     Besides the paper's three annotation categories, the container also
     carries *conditions* imposed on the job by previously applied

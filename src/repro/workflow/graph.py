@@ -4,17 +4,104 @@ A workflow ``W`` is a DAG ``G_W`` whose vertices are MapReduce jobs and
 datasets, and whose edges connect jobs to their input and output datasets
 (paper §2.1).  Edges are derived from the jobs' declared input/output dataset
 names, so the graph is always consistent with the executable jobs it holds.
+
+Workflows are **copy-on-write**: :meth:`Workflow.copy` shares the vertex
+objects between the original and the clone (only the name→vertex mappings are
+duplicated), and every shared vertex is copied lazily the first time either
+side mutates it through :meth:`Workflow.mutate_job` /
+:meth:`Workflow.update_job` / :meth:`Workflow.add_dataset`.  Stubby's
+transformations are local rewrites (paper §3), so a candidate plan typically
+privatizes one or two vertices out of a workflow of many — the deep-copy tax
+of enumeration drops from O(jobs) to O(jobs touched).  The contract this
+rests on:
+
+* **shared vertices are never mutated in place** — all mutation goes through
+  the CoW accessors above, which privatize first;
+* **an owned (privatized) vertex's payload is private** — its
+  ``JobAnnotations`` is always copied, and its job/pipelines are either
+  copied (``mutate_job``) or freshly constructed by the caller
+  (``update_job``, :meth:`Workflow.replace_job`), so in-place pipeline edits
+  on an owned vertex can never reach a sibling plan.
+
+:data:`COPY_COUNTERS` tallies vertex copies actually performed against the
+copies a wholesale deep copy would have performed — the measured basis of
+``BENCH_plan_cow.json``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import WorkflowValidationError
 from repro.dfs.dataset import Dataset
 from repro.mapreduce.job import MapReduceJob
 from repro.workflow.annotations import DatasetAnnotation, JobAnnotations
+
+
+class CopyCounters:
+    """Process-wide tallies of plan/vertex copying (CoW instrumentation).
+
+    ``vertex_copies`` counts *full* job-vertex copies (job + pipelines +
+    annotations); ``vertex_shell_copies`` counts borrowed privatizations
+    (annotations copied, job payload shared — the cheap CoW path of the
+    configuration hot loop); ``legacy_vertex_copies`` counts the full copies
+    the pre-CoW wholesale ``Workflow.copy`` performs (every job of every
+    copied workflow), so ``legacy_vertex_copies / vertex_copies`` is the
+    measured copy-tax reduction.  Counters are advisory (no lock): the
+    benchmarks that assert on them run single-threaded.
+    """
+
+    __slots__ = (
+        "workflow_copies",
+        "vertex_copies",
+        "vertex_shell_copies",
+        "dataset_vertex_copies",
+        "legacy_vertex_copies",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (benchmarks call this before a measured window)."""
+        self.workflow_copies = 0
+        self.vertex_copies = 0
+        self.vertex_shell_copies = 0
+        self.dataset_vertex_copies = 0
+        self.legacy_vertex_copies = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view of the current counters."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: The process-wide counter instance (see :class:`CopyCounters`).
+COPY_COUNTERS = CopyCounters()
+
+#: Structural sharing switch.  Always on in production; the plan-CoW
+#: benchmark flips it off to measure the legacy wholesale-deep-copy baseline
+#: against the same workloads (decisions must be bit-identical either way).
+_COW_ENABLED = True
+
+
+def set_cow_enabled(enabled: bool) -> bool:
+    """Enable/disable copy-on-write plan copies; returns the previous value.
+
+    With CoW disabled, :meth:`Workflow.copy` eagerly deep-copies every vertex
+    (the pre-CoW behaviour).  Semantics are identical either way — the CoW
+    protocol only changes *when* copies happen — so this is purely a
+    measurement baseline for ``benchmarks/test_bench_plan_cow.py``.
+    """
+    global _COW_ENABLED
+    previous = _COW_ENABLED
+    _COW_ENABLED = bool(enabled)
+    return previous
+
+
+def cow_enabled() -> bool:
+    """Whether workflow copies currently share vertices (see :func:`set_cow_enabled`)."""
+    return _COW_ENABLED
 
 
 @dataclass
@@ -29,9 +116,24 @@ class JobVertex:
         """The job's name (vertex identity)."""
         return self.job.name
 
-    def copy(self) -> "JobVertex":
-        """Copy of the vertex with copied job and annotations."""
-        return JobVertex(job=self.job.copy(), annotations=self.annotations.copy())
+    def copy(self, copy_job: bool = True) -> "JobVertex":
+        """Copy of the vertex with copied annotations (and, by default, job).
+
+        ``copy_job=False`` *borrows* the job object instead of copying it —
+        for callers about to rebind ``.job`` with a derived job anyway
+        (:meth:`Workflow.update_job`) or that only mutate annotations.  A
+        borrowed job must never be mutated in place; the owning workflow
+        tracks borrowed payloads and copies them before any in-place job
+        mutation (see :meth:`Workflow.mutate_job`).
+        """
+        if copy_job:
+            COPY_COUNTERS.vertex_copies += 1
+        else:
+            COPY_COUNTERS.vertex_shell_copies += 1
+        return JobVertex(
+            job=self.job.copy() if copy_job else self.job,
+            annotations=self.annotations.copy(),
+        )
 
 
 @dataclass
@@ -44,6 +146,7 @@ class DatasetVertex:
 
     def copy(self) -> "DatasetVertex":
         """Copy of the vertex (the materialized dataset object is shared)."""
+        COPY_COUNTERS.dataset_vertex_copies += 1
         return DatasetVertex(name=self.name, dataset=self.dataset, annotation=self.annotation)
 
 
@@ -54,6 +157,15 @@ class Workflow:
         self.name = name
         self._jobs: Dict[str, JobVertex] = {}
         self._datasets: Dict[str, DatasetVertex] = {}
+        #: Names of vertices whose *objects* are shared with another workflow
+        #: (populated by :meth:`copy`, drained by the CoW accessors).  A name
+        #: absent from the set means this workflow owns the vertex privately.
+        self._shared_jobs: Set[str] = set()
+        self._shared_datasets: Set[str] = set()
+        #: Owned vertices whose ``.job`` payload is still shared (privatized
+        #: with ``copy_job=False``); an in-place job mutation must copy the
+        #: payload first.
+        self._borrowed_jobs: Set[str] = set()
 
     # ---------------------------------------------------------- construction
     def add_job(
@@ -66,6 +178,7 @@ class Workflow:
             raise WorkflowValidationError(f"duplicate job name {job.name!r}")
         vertex = JobVertex(job=job, annotations=annotations or JobAnnotations())
         self._jobs[job.name] = vertex
+        self._shared_jobs.discard(job.name)
         for dataset_name in job.input_datasets + job.output_datasets:
             if dataset_name not in self._datasets:
                 self._datasets[dataset_name] = DatasetVertex(name=dataset_name)
@@ -77,11 +190,16 @@ class Workflow:
         dataset: Optional[Dataset] = None,
         annotation: Optional[DatasetAnnotation] = None,
     ) -> DatasetVertex:
-        """Add (or enrich) a dataset vertex."""
+        """Add (or enrich) a dataset vertex (copy-on-write when shared)."""
         vertex = self._datasets.get(name)
         if vertex is None:
             vertex = DatasetVertex(name=name)
             self._datasets[name] = vertex
+            self._shared_datasets.discard(name)
+        elif (dataset is not None or annotation is not None) and name in self._shared_datasets:
+            vertex = vertex.copy()
+            self._datasets[name] = vertex
+            self._shared_datasets.discard(name)
         if dataset is not None:
             vertex.dataset = dataset
         if annotation is not None:
@@ -93,6 +211,8 @@ class Workflow:
         if name not in self._jobs:
             raise WorkflowValidationError(f"job {name!r} not in workflow")
         del self._jobs[name]
+        self._shared_jobs.discard(name)
+        self._borrowed_jobs.discard(name)
 
     def remove_dataset(self, name: str) -> None:
         """Remove a dataset vertex if no remaining job references it."""
@@ -103,6 +223,7 @@ class Workflow:
                     f"dataset {name!r} is still referenced by job {job.name!r}"
                 )
         self._datasets.pop(name, None)
+        self._shared_datasets.discard(name)
 
     def prune_orphan_datasets(self) -> List[str]:
         """Drop dataset vertices no job reads or writes; returns their names."""
@@ -113,6 +234,7 @@ class Workflow:
         orphans = [name for name in self._datasets if name not in referenced]
         for name in orphans:
             del self._datasets[name]
+            self._shared_datasets.discard(name)
         return orphans
 
     # ------------------------------------------------------------- accessors
@@ -279,21 +401,111 @@ class Workflow:
 
     # ----------------------------------------------------------------- copy
     def copy(self, name: Optional[str] = None) -> "Workflow":
-        """Deep-enough copy of the workflow (materialized datasets shared)."""
+        """Structurally shared (copy-on-write) clone of the workflow.
+
+        Only the name→vertex mappings are duplicated; the vertex objects
+        themselves are shared between the clone and the original, and both
+        sides mark every current vertex as shared so any later mutation —
+        on either side — privatizes the touched vertex first (see the module
+        docstring for the contract).  Structural edits (add/remove/replace)
+        only touch the per-workflow mappings, so they never require copies.
+        """
+        COPY_COUNTERS.workflow_copies += 1
+        COPY_COUNTERS.legacy_vertex_copies += len(self._jobs)
         clone = Workflow(name=name or self.name)
-        for vertex in self._jobs.values():
-            copied = vertex.copy()
-            clone._jobs[copied.name] = copied
-        for dataset_vertex in self._datasets.values():
-            clone._datasets[dataset_vertex.name] = dataset_vertex.copy()
+        if not _COW_ENABLED:
+            # Benchmark baseline: the pre-CoW wholesale deep copy.
+            for vertex in self._jobs.values():
+                clone._jobs[vertex.name] = vertex.copy()
+            for dataset_vertex in self._datasets.values():
+                clone._datasets[dataset_vertex.name] = dataset_vertex.copy()
+            return clone
+        clone._jobs = dict(self._jobs)
+        clone._datasets = dict(self._datasets)
+        clone._shared_jobs = set(self._jobs)
+        clone._shared_datasets = set(self._datasets)
+        clone._borrowed_jobs = set(self._borrowed_jobs)
+        # Every vertex the original holds is now also referenced by the
+        # clone, so the original must CoW its own future mutations too.
+        self._shared_jobs = set(self._jobs)
+        self._shared_datasets = set(self._datasets)
         return clone
+
+    # --------------------------------------------------------- CoW mutation
+    def mutate_job(self, name: str, copy_job: bool = True) -> JobVertex:
+        """Privatize (if shared) and return the job vertex for mutation.
+
+        The returned vertex is exclusively owned by this workflow: in-place
+        edits to it (annotations, and — with ``copy_job=True`` — its job's
+        pipelines) cannot reach any other workflow.  ``copy_job=False``
+        borrows the job payload for callers that will rebind ``.job`` or
+        only touch annotations; prefer :meth:`update_job` for the rebind
+        pattern, which clears the borrow marker.
+        """
+        vertex = self.job(name)
+        if name in self._shared_jobs:
+            vertex = vertex.copy(copy_job=copy_job)
+            self._jobs[name] = vertex
+            self._shared_jobs.discard(name)
+            if copy_job:
+                self._borrowed_jobs.discard(name)
+            else:
+                self._borrowed_jobs.add(name)
+            return vertex
+        if copy_job and name in self._borrowed_jobs:
+            # Owned vertex, but its job payload is still shared: privatize
+            # the payload before the caller mutates pipelines in place.
+            COPY_COUNTERS.vertex_copies += 1
+            vertex.job = vertex.job.copy()
+            self._borrowed_jobs.discard(name)
+        return vertex
+
+    def update_job(self, name: str, derive: Callable[[MapReduceJob], MapReduceJob]) -> JobVertex:
+        """CoW-rebind a vertex's job: ``vertex.job = derive(vertex.job)``.
+
+        The job object is never copied — ``derive`` builds the replacement
+        (e.g. ``job.with_config(...)``), a fresh job of the same name.  This
+        is the cheap path for the configuration hot loop: one annotations
+        copy plus whatever ``derive`` builds, instead of a full vertex deep
+        copy.  The derived job may *share* pipeline objects with the source
+        (``with_config``/``with_partitioner`` do), so the vertex keeps its
+        borrowed-payload marker: a later :meth:`mutate_job` with
+        ``copy_job=True`` still privatizes the pipelines before any in-place
+        edit.
+        """
+        vertex = self.mutate_job(name, copy_job=False)
+        new_job = derive(vertex.job)
+        if new_job.name != name:
+            raise WorkflowValidationError(
+                f"update_job cannot rename {name!r} to {new_job.name!r}; use replace_job"
+            )
+        vertex.job = new_job
+        return vertex
+
+    def dirty_jobs(self) -> Set[str]:
+        """Names of job vertices privately owned by this workflow.
+
+        After a :meth:`copy` the set is empty; it grows as vertices are
+        privatized (mutated) or created.  Together with structural sharing
+        this is the plan's *dirty set*: a vertex outside it is the same
+        object as in the workflow it was copied from, which is what lets the
+        What-if engine serve its cost signature from an identity-keyed memo
+        (see :meth:`repro.whatif.model.WhatIfEngine.vertex_dataflow_signature`).
+        """
+        return set(self._jobs) - self._shared_jobs
 
     def replace_job(self, name: str, job: MapReduceJob, annotations: Optional[JobAnnotations] = None) -> None:
         """Replace a job vertex in place, keeping its position in insertion order."""
         if name not in self._jobs:
             raise WorkflowValidationError(f"job {name!r} not in workflow")
         existing = self._jobs[name]
-        new_vertex = JobVertex(job=job, annotations=annotations or existing.annotations)
+        if annotations is None:
+            # Defaulting from a *shared* vertex must not alias its mutable
+            # annotations container into the new (owned) vertex.
+            annotations = (
+                existing.annotations.copy() if name in self._shared_jobs else existing.annotations
+            )
+        new_vertex = JobVertex(job=job, annotations=annotations)
         rebuilt: Dict[str, JobVertex] = {}
         for key, value in self._jobs.items():
             if key == name:
@@ -301,6 +513,10 @@ class Workflow:
             else:
                 rebuilt[key] = value
         self._jobs = rebuilt
+        self._shared_jobs.discard(name)
+        self._borrowed_jobs.discard(name)
+        self._shared_jobs.discard(job.name)
+        self._borrowed_jobs.discard(job.name)
         for dataset_name in job.input_datasets + job.output_datasets:
             if dataset_name not in self._datasets:
                 self._datasets[dataset_name] = DatasetVertex(name=dataset_name)

@@ -19,9 +19,11 @@ from repro.cluster import ClusterSpec
 from repro.profiler import Profiler
 from repro.whatif.service import (
     CACHE_FORMAT_VERSION,
+    CACHE_MAX_ENTRIES_ENV_VAR,
     CACHE_PATH_ENV_VAR,
     CostService,
     cluster_cache_key,
+    resolve_cache_max_entries,
     resolve_cache_path,
 )
 from repro.workloads import build_workload
@@ -236,3 +238,70 @@ class TestPathResolution:
         # A shared service passed in explicitly is never overridden by the env.
         shared = CostService(CLUSTER)
         assert StubbyOptimizer(CLUSTER, cost_service=shared).costs is shared
+
+
+class TestCompactionOnPersist:
+    def test_max_entries_bounds_the_file(self, tmp_path, profiled_workflow):
+        service = _warmed_service(profiled_workflow)
+        full = len(service._entries_snapshot())
+        assert full > 4
+        path = str(tmp_path / "compact.cache")
+        written = service.save_cache(path, max_entries=4)
+        assert written == 4
+
+        fresh = CostService(CLUSTER)
+        report = fresh.load_cache(path)
+        assert report.loaded and report.entries == 4
+
+    def test_compacted_file_is_a_valid_warm_start(self, tmp_path, profiled_workflow):
+        service = _warmed_service(profiled_workflow)
+        path = str(tmp_path / "compact.cache")
+        service.save_cache(path, max_entries=6)
+
+        warmed = CostService(CLUSTER, cache_path=path)
+        assert warmed.last_load is not None and warmed.last_load.loaded
+        # Warm-started estimates are bit-identical to cold ones.
+        cold = CostService(CLUSTER, enable_cache=False)
+        assert (
+            warmed.estimate_workflow(profiled_workflow).total_s
+            == cold.estimate_workflow(profiled_workflow).total_s
+        )
+        # The partial store contributed at least one job-level cache hit.
+        assert warmed.stats.job_cache_hits + warmed.stats.job_dataflow_hits > 0
+
+    def test_compaction_keeps_most_recently_used_entries(self, tmp_path, profiled_workflow):
+        service = _warmed_service(profiled_workflow)
+        # Touch every entry again so recency ordering is well-defined.  The
+        # documented guarantee is *stripe-granular* recency: the compacted
+        # snapshot drains each stripe from its MRU end, so within every
+        # stripe the kept rows must form a suffix of its LRU→MRU order —
+        # regardless of how signatures hash across stripes in this process.
+        service.estimate_workflow(profiled_workflow)
+        compacted = service._entries_snapshot(max_entries=3)
+        assert len(compacted) == 3
+        kept = {(level, signature) for level, signature, _v, _o in compacted}
+        for level, cache in (("estimate", service._cache), ("dataflow", service._dataflow_cache)):
+            for rows in cache.shard_items():
+                flags = [(level, signature) in kept for signature, _v, _o in rows]
+                first_kept = flags.index(True) if True in flags else len(flags)
+                assert all(flags[first_kept:]), (
+                    f"kept rows are not an MRU suffix of their {level} stripe"
+                )
+
+    def test_env_var_bounds_saves_by_default(self, tmp_path, profiled_workflow, monkeypatch):
+        service = _warmed_service(profiled_workflow)
+        path = str(tmp_path / "env-compact.cache")
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV_VAR, "5")
+        assert service.save_cache(path) == 5
+        # Explicit argument beats the environment.
+        assert service.save_cache(path, max_entries=3) == 3
+
+    def test_resolve_cache_max_entries(self, monkeypatch):
+        assert resolve_cache_max_entries(7) == 7
+        assert resolve_cache_max_entries(0) is None
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV_VAR, "12")
+        assert resolve_cache_max_entries(None) == 12
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV_VAR, "not-a-number")
+        assert resolve_cache_max_entries(None) is None
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV_VAR, "")
+        assert resolve_cache_max_entries(None) is None

@@ -1,0 +1,255 @@
+"""Copy-on-write plan semantics: sharing, privatization, and aliasing hazards.
+
+``Plan.copy`` / ``Workflow.copy`` are structurally shared clones: the vertex
+objects are the *same* objects until a mutation privatizes them through the
+CoW accessors (``mutate_job`` / ``update_job`` / ``set_job_config`` /
+``add_dataset``).  These tests pin the contract from both sides:
+
+* the *sharing* side — copying performs no vertex copies, unchanged vertices
+  stay identical objects, and the copy counters record the saved work;
+* the *isolation* side — mutating a candidate plan (through any of the five
+  transformation kinds, and through every mutation API) never changes its
+  parent's structural signature, configurations, merge lineage, or history.
+
+The property sweep runs every transformation over seeded random workflows —
+the same generator the differential-equivalence battery replays — so any CoW
+leak shows up as a parent-fingerprint diff with the guilty seed attached.
+"""
+
+import pytest
+
+from repro.common.hashing import stable_hash
+from repro.core.plan import Plan
+from repro.core.transformations import (
+    HorizontalPacking,
+    InterJobVerticalPacking,
+    IntraJobVerticalPacking,
+    PartitionFunctionTransformation,
+)
+from repro.core.transformations.configuration import ConfigurationTransformation
+from repro.profiler import Profiler
+from repro.verification import RandomWorkflowGenerator
+from repro.workflow.graph import COPY_COUNTERS
+from repro.workloads import build_workload
+
+STRUCTURAL_TRANSFORMATIONS = [
+    IntraJobVerticalPacking(),
+    InterJobVerticalPacking(),
+    PartitionFunctionTransformation(),
+    HorizontalPacking(),
+]
+
+#: Seeds for the random-workflow aliasing sweep (distinct from the
+#: equivalence battery's band so the two explore different regions).
+PROPERTY_SEEDS = [7100 + i for i in range(10)]
+
+
+def _profiled_plan(abbr="IR", scale=0.15):
+    workload = build_workload(abbr, scale=scale)
+    Profiler().profile_workflow(workload.workflow, workload.base_datasets)
+    return workload, workload.plan
+
+
+def _plan_fingerprint(plan):
+    """Everything about a plan that a CoW leak could corrupt, as plain data.
+
+    Beyond the structural :meth:`Plan.signature` (pipelines, partitioners,
+    pruning filters, chaining), this captures per-job configurations, the
+    identity of every annotation object (annotations are immutable, so a
+    leak must rebind them), condition flags, and the plan-level history and
+    merge lineage.
+    """
+    per_job = {}
+    for vertex in plan.workflow.jobs:
+        annotations = vertex.annotations
+        per_job[vertex.name] = (
+            tuple(sorted(vertex.job.config.as_dict().items())),
+            id(annotations.profile),
+            id(annotations.schema),
+            id(annotations.partition_constraint),
+            tuple(sorted((k, str(v)) for k, v in annotations.conditions.items())),
+            tuple(
+                tuple(sorted(p.input_partition_filter.items())) for p in vertex.job.pipelines
+            ),
+        )
+    return (
+        plan.signature(),
+        tuple(sorted(per_job.items())),
+        tuple(plan.history),
+        tuple(sorted(plan.merge_lineage.items())),
+    )
+
+
+def _workflow_hash(plan):
+    """Stable content hash of the plan's structural signature."""
+    return stable_hash((plan.signature(),))
+
+
+def _vandalize(candidate):
+    """Mutate a candidate plan through every public mutation channel."""
+    for name in list(candidate.workflow.job_names):
+        vertex = candidate.workflow.job(name)
+        candidate.set_job_config(
+            name, vertex.job.config.replace(io_sort_mb=vertex.job.config.io_sort_mb + 32)
+        )
+        owned = candidate.mutate_vertex(name, copy_job=False)
+        owned.annotations.conditions["vandalized"] = True
+        owned.annotations.profile = None
+        pipelined = candidate.mutate_vertex(name)
+        for pipeline in pipelined.job.pipelines:
+            pipeline.input_partition_filter["bogus-dataset"] = (0,)
+    candidate.record_merge("bogus+merge", tuple(candidate.workflow.job_names)[:1])
+    candidate.record(
+        ConfigurationTransformation.application_for("bogus", {"io_sort_mb": 1}).as_applied()
+    )
+
+
+class TestStructuralSharing:
+    def test_copy_shares_vertex_objects_and_copies_nothing(self):
+        _, plan = _profiled_plan()
+        COPY_COUNTERS.reset()
+        clone = plan.copy()
+        assert COPY_COUNTERS.vertex_copies == 0
+        assert COPY_COUNTERS.workflow_copies == 1
+        assert COPY_COUNTERS.legacy_vertex_copies == plan.num_jobs
+        for name in plan.job_names:
+            assert clone.workflow.job(name) is plan.workflow.job(name)
+
+    def test_set_job_config_privatizes_only_the_touched_vertex(self):
+        _, plan = _profiled_plan()
+        clone = plan.copy()
+        target = plan.job_names[0]
+        before = plan.workflow.job(target)
+        old_config = before.job.config
+        clone.set_job_config(target, old_config.replace(num_reduce_tasks=77))
+        assert clone.workflow.job(target) is not before
+        assert plan.workflow.job(target) is before
+        assert plan.workflow.job(target).job.config == old_config
+        for name in plan.job_names:
+            if name != target:
+                assert clone.workflow.job(name) is plan.workflow.job(name)
+        assert clone.dirty_jobs() == {target}
+
+    def test_mutation_on_the_parent_side_also_cows(self):
+        """After a copy, the *original* must privatize its mutations too."""
+        _, plan = _profiled_plan()
+        clone = plan.copy()
+        target = plan.job_names[0]
+        clone_fingerprint = _plan_fingerprint(clone)
+        plan.set_job_config(
+            target, plan.workflow.job(target).job.config.replace(num_reduce_tasks=63)
+        )
+        assert _plan_fingerprint(clone) == clone_fingerprint
+
+    def test_mutate_job_privatizes_borrowed_payload_before_pipeline_edits(self):
+        """copy_job=False borrows the job; a later in-place mutation must copy it."""
+        _, plan = _profiled_plan()
+        clone = plan.copy()
+        target = plan.job_names[0]
+        borrowed = clone.mutate_vertex(target, copy_job=False)
+        assert borrowed.job is plan.workflow.job(target).job
+        owned = clone.mutate_vertex(target)  # full privatization on demand
+        assert owned is borrowed
+        assert owned.job is not plan.workflow.job(target).job
+        owned.job.pipelines[0].input_partition_filter["bogus"] = (1,)
+        assert "bogus" not in plan.workflow.job(target).job.pipelines[0].input_partition_filter
+
+    def test_add_dataset_cows_shared_dataset_vertices(self):
+        workload, plan = _profiled_plan()
+        clone = plan.copy()
+        name = workload.workflow.base_datasets()[0].name
+        shared = plan.workflow.dataset(name)
+        clone.workflow.add_dataset(name, annotation=None, dataset=workload.base_datasets[name])
+        # Enriching with data privatized the clone's vertex, not the parent's.
+        assert clone.workflow.dataset(name) is not shared or shared.dataset is not None
+        assert plan.workflow.dataset(name) is shared
+
+    def test_profiler_attach_does_not_leak_into_shared_ancestor(self):
+        workload = build_workload("IR", scale=0.15)
+        pristine = workload.workflow.copy()
+        assert all(not v.annotations.has_profile for v in pristine.jobs)
+        Profiler().profile_workflow(pristine, workload.base_datasets)
+        assert all(v.annotations.has_profile for v in pristine.jobs)
+        # The workload's own workflow (the shared ancestor) stayed pristine.
+        assert all(not v.annotations.has_profile for v in workload.workflow.jobs)
+
+
+class TestRecordMergeAliasing:
+    def test_record_merge_on_clone_does_not_alias_parent_dict(self):
+        _, plan = _profiled_plan()
+        plan.record_merge("seed+merge", tuple(plan.job_names[:2]))
+        clone = plan.copy()
+        clone.record_merge("clone+merge", tuple(clone.job_names[:1]))
+        assert "clone+merge" not in plan.merge_lineage
+        assert "seed+merge" in clone.merge_lineage
+        plan.record_merge("parent+merge", tuple(plan.job_names[:1]))
+        assert "parent+merge" not in clone.merge_lineage
+
+    def test_history_append_on_clone_does_not_alias_parent_list(self):
+        _, plan = _profiled_plan()
+        clone = plan.copy()
+        clone.record(
+            ConfigurationTransformation.application_for("x", {"io_sort_mb": 1}).as_applied()
+        )
+        assert plan.history == []
+
+
+class TestAliasingProperty:
+    """Mutating any candidate never changes its parent (all five kinds)."""
+
+    @pytest.mark.parametrize("transformation", STRUCTURAL_TRANSFORMATIONS, ids=lambda t: t.name)
+    def test_structural_candidates_never_touch_parent(self, transformation):
+        generator = RandomWorkflowGenerator()
+        # Random workflows plus the canned workloads whose annotations admit
+        # every rewrite (partition-function pruning needs the US/LA filter
+        # annotations; intra-job packing fires on IR).
+        plans = [generator.generate(seed).plan for seed in PROPERTY_SEEDS]
+        plans.extend(_profiled_plan(abbr)[1] for abbr in ("IR", "US", "LA"))
+        applied = 0
+        for index, plan in enumerate(plans):
+            applications = transformation.find_applications(
+                plan, tuple(plan.workflow.job_names)
+            )
+            before = _plan_fingerprint(plan)
+            before_hash = _workflow_hash(plan)
+            for application in applications:
+                candidate = transformation.apply(plan, application)
+                _vandalize(candidate)
+                applied += 1
+            assert _plan_fingerprint(plan) == before, (
+                f"plan #{index}: {transformation.name} candidate mutated its parent"
+            )
+            assert _workflow_hash(plan) == before_hash, index
+        assert applied > 0, f"{transformation.name} never applied in the sweep"
+
+    def test_configuration_candidates_never_touch_parent(self):
+        generator = RandomWorkflowGenerator()
+        for seed in PROPERTY_SEEDS[:5]:
+            plan = generator.generate(seed).plan
+            before = _plan_fingerprint(plan)
+            for name in list(plan.workflow.job_names):
+                application = ConfigurationTransformation.application_for(
+                    name, {"io_sort_mb": 256}
+                )
+                candidate = ConfigurationTransformation().apply(
+                    plan,
+                    type(application)(
+                        transformation=application.transformation,
+                        target_jobs=application.target_jobs,
+                        details={"job": name, "settings": {"io_sort_mb": 256}},
+                    ),
+                )
+                _vandalize(candidate)
+            assert _plan_fingerprint(plan) == before, seed
+
+    def test_chosen_settings_replay_never_touches_candidate_record(self):
+        """The search's settings replay copies before mutating (CoW-cheap)."""
+        _, plan = _profiled_plan("IR")
+        record_plan = plan.copy()
+        before = _plan_fingerprint(record_plan)
+        optimized = record_plan.copy()
+        ConfigurationTransformation.apply_settings_in_place(
+            optimized, {plan.job_names[0]: {"io_sort_mb": 512}}
+        )
+        assert _plan_fingerprint(record_plan) == before
+        assert _plan_fingerprint(optimized) != before

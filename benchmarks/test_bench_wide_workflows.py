@@ -1,0 +1,262 @@
+"""Wide-workflow microbenchmark: the topology-scan tax on 10→1000-job DAGs.
+
+Sweeps telemetry-style wide workflows (fan-out channels into staged fan-in
+rollups, ``RandomWorkflowGenerator.telemetry_rollup``) across job counts
+from ~10 to ~1000 and, per size, runs the same workflow-costing queries in
+two modes — legacy brute-force graph scans vs the incremental topology
+index (:func:`repro.workflow.graph.set_topology_index_enabled`) — recording:
+
+* **full graph scans per costing query**: the legacy mode pays one full
+  pass over the job table per ``producer_of``-style lookup, O(jobs²–³) per
+  query on wide DAGs; the indexed mode pays only index (re)builds, which
+  amortize to ~0 across queries.  The asserted contract: **≥10× fewer
+  scan-equivalents per costing query at ≥100 jobs**, on every host.
+* **index maintenance counters**: the search-loop storms (config-only
+  candidates, structural rewrites) must maintain the index incrementally —
+  zero from-scratch rebuilds, one CoW index copy per structural candidate,
+  cached topological order surviving config-only mutations.
+* **bit-identity**: cost estimates and topology answers must be identical
+  in both modes, and optimizer decisions on a wide workflow must not change.
+* **wall clock**: per-query costing time in both modes; the speedup is
+  asserted only on >4-CPU hosts (small CI containers record honestly).
+
+Results land in ``BENCH_wide_workflows.json`` (override the path through
+the ``BENCH_WIDE_WORKFLOWS_OUT`` environment variable), archived by CI next
+to the other benchmark JSONs.
+"""
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.cluster import ClusterSpec
+from repro.core.optimizer import StubbyOptimizer
+from repro.verification import RandomWorkflowGenerator
+from repro.whatif.model import WhatIfEngine
+from repro.workflow.graph import TOPOLOGY_COUNTERS, set_topology_index_enabled
+
+#: (channels, fanin) pairs: total jobs = channels + ceil(channels/fanin) + 1
+#: grand rollup (skipped when a single rollup suffices) — ~10 to ~1000 jobs.
+SWEEP = ((8, 8), (26, 8), (88, 8), (264, 8), (884, 8))
+
+#: Costing queries per mode per size (identical work in both modes).
+QUERIES = 3
+
+#: Counter contract (ISSUE 6): asserted on every host at >=100 jobs.
+MIN_SCAN_REDUCTION = 10.0
+#: Wall-clock contract: asserted only where enough CPUs make timing stable.
+MIN_WALL_SPEEDUP = 3.0
+WALL_SPEEDUP_MIN_JOBS = 100
+
+
+def _output_path():
+    return os.environ.get("BENCH_WIDE_WORKFLOWS_OUT", "BENCH_wide_workflows.json")
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+_GENERATOR = RandomWorkflowGenerator().with_config(records_per_dataset=60)
+
+
+def _costing_queries(engine, workflow):
+    """Run the costing queries under zeroed counters; return the evidence."""
+    TOPOLOGY_COUNTERS.reset()
+    started = time.perf_counter()
+    totals = [engine.estimate_workflow(workflow).total_s for _ in range(QUERIES)]
+    wall_s = time.perf_counter() - started
+    return totals, wall_s, TOPOLOGY_COUNTERS.snapshot()
+
+
+def _topology_answers(workflow):
+    """The topology answers a costing traversal depends on, as plain data."""
+    return {
+        "order": [v.name for v in workflow.topological_order()],
+        "levels": [[v.name for v in level] for level in workflow.topological_levels()],
+        "base": [d.name for d in workflow.base_datasets()],
+        "terminal": [d.name for d in workflow.terminal_datasets()],
+    }
+
+
+def _sweep_point(channels, fanin, engine):
+    generated = _GENERATOR.telemetry_rollup(4242 + channels, num_channels=channels, fanin=fanin)
+    workflow = generated.workflow
+    levels = workflow.topological_levels()  # warm the index + caches
+
+    indexed_totals, indexed_wall, indexed_counters = _costing_queries(engine, workflow)
+    indexed_answers = _topology_answers(workflow)
+
+    previous = set_topology_index_enabled(False)
+    try:
+        legacy_totals, legacy_wall, legacy_counters = _costing_queries(engine, workflow)
+        legacy_answers = _topology_answers(workflow)
+    finally:
+        set_topology_index_enabled(previous)
+
+    assert indexed_totals == legacy_totals, (
+        f"{workflow.num_jobs} jobs: indexed costing diverged from legacy scans"
+    )
+    assert indexed_answers == legacy_answers, (
+        f"{workflow.num_jobs} jobs: indexed topology answers diverged from legacy scans"
+    )
+
+    # Scan-equivalents actually paid per costing query in each mode: a full
+    # scan and a from-scratch (re)build each walk the whole graph once.
+    legacy_scans = legacy_counters["full_scans"]
+    indexed_equivalents = (
+        indexed_counters["full_scans"]
+        + indexed_counters["index_builds"]
+        + indexed_counters["toposort_builds"]
+    )
+    return {
+        "num_jobs": workflow.num_jobs,
+        "num_datasets": len(workflow.datasets),
+        "num_levels": len(levels),
+        "widest_level": max(len(level) for level in levels),
+        "queries": QUERIES,
+        "indexed": {
+            "wall_s": round(indexed_wall, 4),
+            "scan_equivalents": indexed_equivalents,
+            **indexed_counters,
+        },
+        "legacy": {"wall_s": round(legacy_wall, 4), "full_scans": legacy_scans},
+        "scans_per_query_legacy": legacy_scans / QUERIES,
+        "scans_per_query_indexed": indexed_equivalents / QUERIES,
+        "scan_reduction": legacy_scans / max(1, indexed_equivalents),
+        "wall_speedup": legacy_wall / indexed_wall if indexed_wall else 0.0,
+    }
+
+
+def _candidate_storms(channels=88, fanin=8, candidates=50):
+    """The search hot loop's index contract, measured on a wide workflow.
+
+    Config-only candidates (RRS samples) must share the parent's index and
+    its cached topology outright; structural candidates (packing rewrites)
+    must privatize the index once and patch it incrementally — never
+    rebuild from scratch.
+    """
+    generated = _GENERATOR.with_config(profile=False, records_per_dataset=60).telemetry_rollup(
+        99, num_channels=channels, fanin=fanin
+    )
+    workflow = generated.workflow
+    workflow.topological_levels()  # warm
+
+    TOPOLOGY_COUNTERS.reset()
+    names = workflow.job_names
+    for sample in range(candidates):
+        candidate = workflow.copy()
+        candidate.update_job(
+            names[sample % len(names)],
+            lambda job: job.with_config(job.config.replace(num_reduce_tasks=1 + sample % 7)),
+        )
+        candidate.topological_levels()
+    config_counters = TOPOLOGY_COUNTERS.snapshot()
+
+    TOPOLOGY_COUNTERS.reset()
+    for sample in range(candidates):
+        candidate = workflow.copy()
+        victim = candidate.job(names[sample % len(names)])
+        replacement = victim.job.copy()
+        candidate.replace_job(victim.name, replacement)
+        candidate.topological_levels()
+    structural_counters = TOPOLOGY_COUNTERS.snapshot()
+
+    assert config_counters["index_builds"] == 0
+    assert config_counters["index_copies"] == 0
+    assert config_counters["toposort_builds"] == 0
+    assert config_counters["toposort_cache_hits"] == candidates
+    assert structural_counters["index_builds"] == 0
+    assert structural_counters["index_copies"] == candidates
+    assert structural_counters["incremental_updates"] == candidates
+    return {
+        "candidates": candidates,
+        "num_jobs": workflow.num_jobs,
+        "config_only": config_counters,
+        "structural": structural_counters,
+    }
+
+
+def _optimizer_identity(channels=20, fanin=6):
+    """Optimizer decisions on a wide workflow: identical in both modes."""
+    cluster = ClusterSpec.paper_cluster()
+
+    def run(indexed):
+        generated = _GENERATOR.telemetry_rollup(7, num_channels=channels, fanin=fanin)
+        optimizer = StubbyOptimizer(cluster, seed=17)
+        previous = set_topology_index_enabled(indexed)
+        try:
+            result = optimizer.optimize(generated.plan)
+        finally:
+            set_topology_index_enabled(previous)
+        return (
+            result.estimated_cost_s,
+            tuple(result.transformations_applied),
+            tuple(sorted(result.plan.workflow.job_names)),
+            result.plan.signature(),
+        )
+
+    indexed = run(True)
+    legacy = run(False)
+    assert indexed == legacy, "topology index changed optimizer decisions"
+    return {
+        "num_channels": channels,
+        "estimated_cost_s": indexed[0],
+        "transformations_applied": list(indexed[1]),
+    }
+
+
+def test_bench_wide_workflows(benchmark):
+    engine = WhatIfEngine(ClusterSpec.paper_cluster())
+
+    def run_all():
+        return [_sweep_point(channels, fanin, engine) for channels, fanin in SWEEP]
+
+    rows = run_once(benchmark, run_all)
+    cpus = _usable_cpus()
+    speedup_enforced = cpus > 4
+    storms = _candidate_storms()
+    identity = _optimizer_identity()
+
+    payload = {
+        "benchmark": "wide_workflow_topology_index",
+        "usable_cpus": cpus,
+        "queries_per_mode": QUERIES,
+        "min_scan_reduction": MIN_SCAN_REDUCTION,
+        "min_wall_speedup": MIN_WALL_SPEEDUP,
+        "speedup_enforced": speedup_enforced,
+        "candidate_storms": storms,
+        "optimizer_identity": identity,
+        "sweep": rows,
+    }
+    with open(_output_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    print(f"\nWide-workflow topology index vs legacy scans ({cpus} usable CPU(s))")
+    print("jobs   levels  scans/query(legacy->indexed)  scan_x   wall(legacy->indexed)  wall_x")
+    for row in rows:
+        print(
+            f"{row['num_jobs']:<6} {row['num_levels']:<7} "
+            f"{row['scans_per_query_legacy']:>10.1f}->{row['scans_per_query_indexed']:<8.2f} "
+            f"{row['scan_reduction']:>7.0f}x "
+            f"{row['legacy']['wall_s']:>8.3f}s->{row['indexed']['wall_s']:<7.3f}s "
+            f"{row['wall_speedup']:>6.1f}x"
+        )
+
+    for row in rows:
+        if row["num_jobs"] >= 100:
+            assert row["scan_reduction"] >= MIN_SCAN_REDUCTION, (
+                f"{row['num_jobs']} jobs: only {row['scan_reduction']:.1f}x fewer "
+                f"graph scans per costing query"
+            )
+        if speedup_enforced and row["num_jobs"] >= WALL_SPEEDUP_MIN_JOBS:
+            assert row["wall_speedup"] >= MIN_WALL_SPEEDUP, (
+                f"{row['num_jobs']} jobs: costing speedup {row['wall_speedup']:.2f}x < "
+                f"{MIN_WALL_SPEEDUP}x with {cpus} CPUs; see {_output_path()}"
+            )
+    assert os.path.exists(_output_path())

@@ -13,6 +13,13 @@ as producers ("handled").  At each step the next unit's producers are the
 jobs all of whose upstream jobs are handled; a job created by merging a
 producer with its consumer is *not* handled, so it becomes a producer of a
 later unit — exactly the dynamic behaviour of Figure 9.
+
+Each :meth:`OptimizationUnitGenerator.next_unit` call walks the topological
+order and the producer/consumer adjacency of every unhandled job; both are
+answered from the workflow's incremental topology index (cached order, O(1)
+adjacency — see :mod:`repro.workflow.graph`), so unit generation over a
+whole run is O(units · (jobs + edges)) instead of the O(jobs³) the
+brute-force scans cost on wide DAGs.
 """
 
 from __future__ import annotations

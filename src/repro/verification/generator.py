@@ -154,15 +154,7 @@ class RandomWorkflowGenerator:
             consumers.setdefault(output_name, 0)
             depth[output_name] = depth.get(input_name, 0) + 1
 
-        profiler = Profiler()
-        for name, dataset in base_datasets.items():
-            workflow.add_dataset(name, dataset=dataset, annotation=profiler.annotate_dataset(dataset))
-        if config.profile:
-            profiler.profile_workflow(workflow, base_datasets)
-        workflow.validate()
-        return GeneratedWorkflow(
-            seed=seed, workflow=workflow, base_datasets=base_datasets, config=config
-        )
+        return self._finalize(seed, workflow, base_datasets)
 
     def with_config(self, **overrides) -> "RandomWorkflowGenerator":
         """A generator whose config replaces the given fields."""
@@ -227,15 +219,117 @@ class RandomWorkflowGenerator:
         )
         workflow.add_job(sink_a, sink_a_annotations)
         workflow.add_job(sink_b, sink_b_annotations)
+        return self._finalize(seed, workflow, base_datasets)
 
+    def wide_fanout(self, seed: int, num_jobs: int = 32) -> GeneratedWorkflow:
+        """A telemetry-style wide fan-out: one source, ``num_jobs`` siblings.
+
+        Every job reads the single base dataset (one per-channel extraction
+        each, à la a telemetry server fanning one raw log into per-metric
+        streams), so the whole workflow is one level of ``num_jobs``
+        concurrently runnable jobs — the regime where brute-force topology
+        scans cost O(jobs²) per costing query and the adjacency index must
+        answer in O(jobs).  Shapes are drawn from the catalog entries whose
+        outputs are independent (no job reads another's output).
+        """
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be positive")
+        config = self.config
+        rng = DeterministicRNG(seed)
+        data_rng = rng.fork("fanout-data")
+        job_rng = rng.fork("fanout-jobs")
+
+        workflow = Workflow(name=f"fanout-{seed}-{num_jobs}")
+        src = f"fanout{seed}_src"
+        base_datasets = {src: self._make_dataset(src, data_rng.fork(src))}
+        for index in range(num_jobs):
+            kind, builder = job_rng.choice(self._catalog)
+            job, annotations = builder(
+                f"F{seed}_J{index}", src, f"fanout{seed}_d{index}",
+                job_rng.fork(f"job{index}"), config,
+            )
+            workflow.add_job(job, annotations)
+        return self._finalize(seed, workflow, base_datasets)
+
+    def telemetry_rollup(
+        self, seed: int, num_channels: int = 32, fanin: int = 8
+    ) -> GeneratedWorkflow:
+        """Wide fan-out into staged fan-in: channels → rollups → one total.
+
+        Structure (telemetry-pipeline shaped)::
+
+                                src
+                 /      /       |        \\      \\
+               (ch0)  (ch1)   (ch2)  ...  (chN-1)     <- per-channel extraction
+                 |      |       |          |
+                 d0     d1      d2   ...   dN-1
+                  \\_____|______/ ... \\____/
+                   (rollup0)    ...   (rollupM)       <- one per ``fanin`` channels
+                       \\______________/
+                           (total)                    <- grand rollup (fan-in M)
+
+        ``num_channels`` parallel channel jobs (catalog shapes whose outputs
+        keep the ``k``/``x`` fields flowing), ``ceil(num_channels/fanin)``
+        multi-input rollup sums, and one grand total — wide levels *and*
+        many-to-one fan-in, the two shapes that break quadratic graph scans
+        first.  Total jobs: ``num_channels + ceil(num_channels/fanin) + 1``
+        (the grand total is skipped when only one rollup exists).
+        """
+        if num_channels < 1 or fanin < 1:
+            raise ValueError("num_channels and fanin must be positive")
+        config = self.config
+        rng = DeterministicRNG(seed)
+        data_rng = rng.fork("telemetry-data")
+        job_rng = rng.fork("telemetry-jobs")
+
+        workflow = Workflow(name=f"telemetry-{seed}-{num_channels}")
+        src = f"telemetry{seed}_src"
+        base_datasets = {src: self._make_dataset(src, data_rng.fork(src))}
+
+        # Channel shapes must keep "k" and "x" flowing for the rollup sums.
+        channel_builders = (self._build_project, self._build_filter, self._build_sum)
+        channel_outputs: List[str] = []
+        for index in range(num_channels):
+            builder = job_rng.choice(channel_builders)
+            output = f"telemetry{seed}_ch{index}"
+            job, annotations = builder(
+                f"T{seed}_C{index}", src, output, job_rng.fork(f"ch{index}"), config
+            )
+            workflow.add_job(job, annotations)
+            channel_outputs.append(output)
+
+        rollup_outputs: List[str] = []
+        for index, start in enumerate(range(0, num_channels, fanin)):
+            group = channel_outputs[start : start + fanin]
+            output = f"telemetry{seed}_roll{index}"
+            job, annotations = self._build_sum(
+                f"T{seed}_R{index}", group[0], output, job_rng.fork(f"roll{index}"), config
+            )
+            job.pipelines[0].input_datasets = tuple(group)
+            workflow.add_job(job, annotations)
+            rollup_outputs.append(output)
+
+        if len(rollup_outputs) > 1:
+            total, total_annotations = self._build_sum(
+                f"T{seed}_TOTAL", rollup_outputs[0], f"telemetry{seed}_total",
+                job_rng.fork("total"), config,
+            )
+            total.pipelines[0].input_datasets = tuple(rollup_outputs)
+            workflow.add_job(total, total_annotations)
+        return self._finalize(seed, workflow, base_datasets)
+
+    def _finalize(
+        self, seed: int, workflow: Workflow, base_datasets: Dict[str, Dataset]
+    ) -> GeneratedWorkflow:
+        """Attach base data, profile (if configured), validate, and wrap."""
         profiler = Profiler()
         for name, dataset in base_datasets.items():
             workflow.add_dataset(name, dataset=dataset, annotation=profiler.annotate_dataset(dataset))
-        if config.profile:
+        if self.config.profile:
             profiler.profile_workflow(workflow, base_datasets)
         workflow.validate()
         return GeneratedWorkflow(
-            seed=seed, workflow=workflow, base_datasets=base_datasets, config=config
+            seed=seed, workflow=workflow, base_datasets=base_datasets, config=self.config
         )
 
     # ----------------------------------------------------------- DAG shaping

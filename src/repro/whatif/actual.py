@@ -57,7 +57,13 @@ class ActualCostModel:
         execution: WorkflowExecutionResult,
         filesystem: InMemoryFileSystem,
     ) -> ActualWorkflowCost:
-        """Cost a fully executed workflow."""
+        """Cost a fully executed workflow.
+
+        Walks the same cached ``topological_levels()`` the What-if engine
+        uses (the workflow's topology index — usually already warm from the
+        execution that produced ``execution``), so actual-cost accounting
+        stays cheap on wide DAGs.
+        """
         per_job: Dict[str, JobTimeEstimate] = {}
         per_level: List[List[JobTimeEstimate]] = []
         for level in workflow.topological_levels():

@@ -184,6 +184,12 @@ class WhatIfEngine:
         output-size contributions, and combines per-level makespans.
         Sharing this single driver is what keeps the memoized service
         *exactly* equal to a cold estimation by construction.
+
+        ``topological_levels()`` and ``base_datasets()`` answer from the
+        workflow's cached topology index, so the per-query topology tax is
+        O(jobs) — and amortizes to the cache lookup across the repeated
+        costing of candidate plans, whose CoW copies share the index with
+        the plan they were cloned from (see ``docs/costing.md``).
         """
         sizes = self._base_dataset_sizes(workflow)
         per_job: Dict[str, JobTimeEstimate] = {}

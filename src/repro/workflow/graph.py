@@ -26,10 +26,25 @@ rests on:
 :data:`COPY_COUNTERS` tallies vertex copies actually performed against the
 copies a wholesale deep copy would have performed — the measured basis of
 ``BENCH_plan_cow.json``.
+
+Structural queries (``producer_of``/``consumers_of``/``producer_jobs``/
+``consumer_jobs``/``base_datasets``/``terminal_datasets``/
+``intermediate_datasets``/``depends_on``/``topological_order``/
+``topological_levels``) answer from a lazily built **topology index**
+(:class:`_TopologyIndex`): producer/consumer adjacency per dataset plus
+cached topological order and levels, maintained *incrementally* through the
+mutation surface above and shared between CoW clones until either side
+mutates structure.  Answers are bit-identical — including insertion-order
+tie-breaks — to the legacy brute-force scans, which remain available as the
+``_scan_*`` twins and via :func:`set_topology_index_enabled` as the
+measurement baseline of ``BENCH_wide_workflows.json``.
+:data:`TOPOLOGY_COUNTERS` tallies scans avoided against index maintenance
+performed.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -104,6 +119,211 @@ def cow_enabled() -> bool:
     return _COW_ENABLED
 
 
+class TopologyCounters:
+    """Process-wide tallies of topology-index activity (graph instrumentation).
+
+    ``full_scans`` counts brute-force full passes over the job table (the
+    legacy scan path, one tick per pass — ``producer_of`` is one pass,
+    ``producer_jobs`` is one per input dataset); ``index_queries`` counts
+    structure queries answered from the adjacency index instead.
+    ``index_builds`` are from-scratch adjacency constructions (lazy, once
+    per workflow lineage), ``incremental_updates`` are single-mutation
+    touch-ups, and ``index_copies`` are CoW privatizations of an index
+    shared through :meth:`Workflow.copy`.  ``toposort_builds`` vs
+    ``toposort_cache_hits`` measure how often the cached topological
+    order/levels survive mutation.  Counters are advisory (no lock): the
+    benchmarks that assert on them run single-threaded.
+    """
+
+    __slots__ = (
+        "full_scans",
+        "index_queries",
+        "index_builds",
+        "index_copies",
+        "incremental_updates",
+        "toposort_builds",
+        "toposort_cache_hits",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (benchmarks call this before a measured window)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view of the current counters."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def scan_equivalents(self) -> int:
+        """Full-graph passes actually paid: scans plus index (re)builds.
+
+        The honest denominator for the wide-workflow benchmark: an index
+        build walks every job once, so it costs one scan-equivalent; an
+        incremental update or an indexed query does not.
+        """
+        return self.full_scans + self.index_builds + self.toposort_builds
+
+
+#: The process-wide topology counter instance (see :class:`TopologyCounters`).
+TOPOLOGY_COUNTERS = TopologyCounters()
+
+#: Topology-index switch.  Always on in production; the wide-workflow
+#: benchmark flips it off to measure the legacy brute-force-scan baseline
+#: against the same workloads (answers must be bit-identical either way).
+_TOPOLOGY_INDEX_ENABLED = True
+
+
+def set_topology_index_enabled(enabled: bool) -> bool:
+    """Enable/disable the topology index; returns the previous value.
+
+    With the index disabled every structural query falls back to the
+    brute-force graph scans (the pre-index behaviour).  Answers are
+    bit-identical either way — the index only changes *how* they are
+    derived — so this is purely a measurement baseline for
+    ``benchmarks/test_bench_wide_workflows.py``.
+    """
+    global _TOPOLOGY_INDEX_ENABLED
+    previous = _TOPOLOGY_INDEX_ENABLED
+    _TOPOLOGY_INDEX_ENABLED = bool(enabled)
+    return previous
+
+
+def topology_index_enabled() -> bool:
+    """Whether structural queries are answered from the adjacency index."""
+    return _TOPOLOGY_INDEX_ENABLED
+
+
+class _TopologyIndex:
+    """Producer/consumer adjacency plus cached topological order and levels.
+
+    The index answers every structural query of :class:`Workflow` without
+    scanning the job table: ``producers``/``consumers`` map each dataset
+    name to the job names writing/reading it, each list kept in *job
+    insertion order* so indexed answers are bit-identical (including
+    tie-breaks) to the legacy scans.  Insertion order is tracked through
+    ``order_keys`` — a monotonic key per job; :meth:`replace_job` hands the
+    old job's key to its replacement, mirroring how
+    :meth:`Workflow.replace_job` keeps the vertex's position in the job
+    dict.  ``topo_names``/``level_names`` cache the topological order and
+    levels (by name — the caller re-binds names to its *current* vertex
+    objects, so CoW vertex privatization never stales the cache); any
+    structural mutation clears them, while config-only CoW mutations
+    (:meth:`Workflow.mutate_job`, edge-preserving
+    :meth:`Workflow.update_job`) leave them valid.
+
+    Lifecycle: built lazily on the first structural query, shared between a
+    workflow and its CoW clones by :meth:`Workflow.copy`, and privatized
+    (copied) by whichever side mutates structure first — exactly the
+    vertex-sharing protocol, applied to the index.
+    """
+
+    __slots__ = ("producers", "consumers", "order_keys", "next_key", "topo_names", "level_names")
+
+    def __init__(self) -> None:
+        self.producers: Dict[str, List[str]] = {}
+        self.consumers: Dict[str, List[str]] = {}
+        self.order_keys: Dict[str, int] = {}
+        self.next_key: int = 0
+        self.topo_names: Optional[List[str]] = None
+        self.level_names: Optional[List[List[str]]] = None
+
+    @classmethod
+    def build(cls, jobs: Dict[str, "JobVertex"]) -> "_TopologyIndex":
+        """From-scratch adjacency build over the current job table."""
+        index = cls()
+        for vertex in jobs.values():
+            key = index.next_key
+            index.next_key += 1
+            index.order_keys[vertex.name] = key
+            index._link(vertex.job, key)
+        TOPOLOGY_COUNTERS.index_builds += 1
+        return index
+
+    def copy(self) -> "_TopologyIndex":
+        """Independent copy (CoW privatization of a shared index)."""
+        clone = _TopologyIndex()
+        clone.producers = {name: list(jobs) for name, jobs in self.producers.items()}
+        clone.consumers = {name: list(jobs) for name, jobs in self.consumers.items()}
+        clone.order_keys = dict(self.order_keys)
+        clone.next_key = self.next_key
+        clone.topo_names = list(self.topo_names) if self.topo_names is not None else None
+        clone.level_names = (
+            [list(level) for level in self.level_names] if self.level_names is not None else None
+        )
+        TOPOLOGY_COUNTERS.index_copies += 1
+        return clone
+
+    # -------------------------------------------------------- edge plumbing
+    def _link(self, job: MapReduceJob, key: int) -> None:
+        """Insert the job's edges, keeping adjacency lists in job order."""
+        name = job.name
+        for dataset_name in job.input_datasets:
+            entries = self.consumers.setdefault(dataset_name, [])
+            entries.append(name)
+            if len(entries) > 1 and self.order_keys[entries[-2]] > key:
+                entries.sort(key=self.order_keys.__getitem__)
+        for dataset_name in job.output_datasets:
+            entries = self.producers.setdefault(dataset_name, [])
+            entries.append(name)
+            if len(entries) > 1 and self.order_keys[entries[-2]] > key:
+                entries.sort(key=self.order_keys.__getitem__)
+
+    def _unlink(self, job: MapReduceJob) -> None:
+        """Remove the job's edges (empty adjacency entries are dropped)."""
+        name = job.name
+        for dataset_name in job.input_datasets:
+            entries = self.consumers.get(dataset_name)
+            if entries is not None:
+                if name in entries:
+                    entries.remove(name)
+                if not entries:
+                    del self.consumers[dataset_name]
+        for dataset_name in job.output_datasets:
+            entries = self.producers.get(dataset_name)
+            if entries is not None:
+                if name in entries:
+                    entries.remove(name)
+                if not entries:
+                    del self.producers[dataset_name]
+
+    def _invalidate_topology(self) -> None:
+        self.topo_names = None
+        self.level_names = None
+
+    # ------------------------------------------------- incremental mutation
+    def add_job(self, job: MapReduceJob) -> None:
+        """Incremental update for :meth:`Workflow.add_job`."""
+        key = self.next_key
+        self.next_key += 1
+        self.order_keys[job.name] = key
+        self._link(job, key)
+        self._invalidate_topology()
+        TOPOLOGY_COUNTERS.incremental_updates += 1
+
+    def remove_job(self, job: MapReduceJob) -> None:
+        """Incremental update for :meth:`Workflow.remove_job`."""
+        self._unlink(job)
+        self.order_keys.pop(job.name, None)
+        self._invalidate_topology()
+        TOPOLOGY_COUNTERS.incremental_updates += 1
+
+    def replace_job(self, old_job: MapReduceJob, new_job: MapReduceJob) -> None:
+        """Incremental update for :meth:`Workflow.replace_job`.
+
+        The replacement inherits the old job's order key, so indexed
+        tie-breaks keep matching the rebuilt job dict (same position).
+        """
+        key = self.order_keys.pop(old_job.name)
+        self._unlink(old_job)
+        self.order_keys[new_job.name] = key
+        self._link(new_job, key)
+        self._invalidate_topology()
+        TOPOLOGY_COUNTERS.incremental_updates += 1
+
+
 @dataclass
 class JobVertex:
     """A job vertex: the executable job plus its annotations."""
@@ -166,6 +386,42 @@ class Workflow:
         #: with ``copy_job=False``); an in-place job mutation must copy the
         #: payload first.
         self._borrowed_jobs: Set[str] = set()
+        #: Lazily built topology index (see :class:`_TopologyIndex`), shared
+        #: with CoW clones until either side mutates structure.
+        self._topo_index: Optional[_TopologyIndex] = None
+        self._topo_shared: bool = False
+
+    # ------------------------------------------------------- topology index
+    def _topology(self) -> _TopologyIndex:
+        """The adjacency index, built lazily on first structural query.
+
+        Reading a shared index is safe: workflows only share an index while
+        their edge structures are identical, so even cache fills (topological
+        order/levels) computed through one sharer are valid for all of them.
+        """
+        index = self._topo_index
+        if index is None:
+            index = _TopologyIndex.build(self._jobs)
+            self._topo_index = index
+            self._topo_shared = False
+        return index
+
+    def _topology_for_mutation(self) -> Optional[_TopologyIndex]:
+        """The index to update incrementally for a structural mutation.
+
+        ``None`` when no index has been built yet (nothing to maintain — the
+        next structural query rebuilds from scratch); a private copy when the
+        current index is shared with a CoW sibling (privatize-before-mutate,
+        the same protocol the vertices follow).
+        """
+        index = self._topo_index
+        if index is None:
+            return None
+        if self._topo_shared:
+            index = index.copy()
+            self._topo_index = index
+            self._topo_shared = False
+        return index
 
     # ---------------------------------------------------------- construction
     def add_job(
@@ -182,6 +438,9 @@ class Workflow:
         for dataset_name in job.input_datasets + job.output_datasets:
             if dataset_name not in self._datasets:
                 self._datasets[dataset_name] = DatasetVertex(name=dataset_name)
+        index = self._topology_for_mutation()
+        if index is not None:
+            index.add_job(job)
         return vertex
 
     def add_dataset(
@@ -190,7 +449,11 @@ class Workflow:
         dataset: Optional[Dataset] = None,
         annotation: Optional[DatasetAnnotation] = None,
     ) -> DatasetVertex:
-        """Add (or enrich) a dataset vertex (copy-on-write when shared)."""
+        """Add (or enrich) a dataset vertex (copy-on-write when shared).
+
+        Index-neutral: dataset payloads and annotations carry no edges, so
+        the topology index and its cached order/levels stay valid.
+        """
         vertex = self._datasets.get(name)
         if vertex is None:
             vertex = DatasetVertex(name=name)
@@ -210,9 +473,13 @@ class Workflow:
         """Remove a job vertex (dataset vertices are kept; prune separately)."""
         if name not in self._jobs:
             raise WorkflowValidationError(f"job {name!r} not in workflow")
+        removed = self._jobs[name]
         del self._jobs[name]
         self._shared_jobs.discard(name)
         self._borrowed_jobs.discard(name)
+        index = self._topology_for_mutation()
+        if index is not None:
+            index.remove_job(removed.job)
 
     def remove_dataset(self, name: str) -> None:
         """Remove a dataset vertex if no remaining job references it."""
@@ -226,7 +493,13 @@ class Workflow:
         self._shared_datasets.discard(name)
 
     def prune_orphan_datasets(self) -> List[str]:
-        """Drop dataset vertices no job reads or writes; returns their names."""
+        """Drop dataset vertices no job reads or writes; returns their names.
+
+        Index-neutral by construction: the adjacency index only holds
+        entries for datasets some job references (``_unlink`` drops entries
+        as they empty), so an orphan has none and the cached topology stays
+        valid.
+        """
         referenced: Set[str] = set()
         for vertex in self._jobs.values():
             referenced.update(vertex.job.input_datasets)
@@ -274,51 +547,137 @@ class Workflow:
         return name in self._datasets
 
     # ------------------------------------------------------------- structure
+    #
+    # Every public structural query answers from the adjacency index in
+    # O(answer size); the ``_scan_*`` twins below each one are the legacy
+    # brute-force implementations, kept as the measurement baseline of
+    # ``benchmarks/test_bench_wide_workflows.py`` (via
+    # :func:`set_topology_index_enabled`) and as the ordering oracle the
+    # equivalence tests assert bit-identical answers against.
+
     def producer_of(self, dataset_name: str) -> Optional[JobVertex]:
         """The job writing ``dataset_name`` (``None`` for base datasets)."""
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_producer_of(dataset_name)
+        TOPOLOGY_COUNTERS.index_queries += 1
+        writers = self._topology().producers.get(dataset_name)
+        return self._jobs[writers[0]] if writers else None
+
+    def _scan_producer_of(self, dataset_name: str) -> Optional[JobVertex]:
+        TOPOLOGY_COUNTERS.full_scans += 1
         for vertex in self._jobs.values():
             if dataset_name in vertex.job.output_datasets:
                 return vertex
         return None
 
     def consumers_of(self, dataset_name: str) -> List[JobVertex]:
-        """All jobs reading ``dataset_name``."""
+        """All jobs reading ``dataset_name``, in job insertion order."""
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_consumers_of(dataset_name)
+        TOPOLOGY_COUNTERS.index_queries += 1
+        readers = self._topology().consumers.get(dataset_name, ())
+        return [self._jobs[name] for name in readers]
+
+    def _scan_consumers_of(self, dataset_name: str) -> List[JobVertex]:
+        TOPOLOGY_COUNTERS.full_scans += 1
         return [v for v in self._jobs.values() if dataset_name in v.job.input_datasets]
 
     def producer_jobs(self, job_name: str) -> List[JobVertex]:
-        """Jobs whose output datasets this job reads."""
+        """Jobs whose output datasets this job reads (input-dataset order)."""
+        vertex = self.job(job_name)
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_producer_jobs(job_name)
+        TOPOLOGY_COUNTERS.index_queries += 1
+        index = self._topology()
+        producers: List[JobVertex] = []
+        seen: Set[str] = set()
+        for dataset_name in vertex.job.input_datasets:
+            writers = index.producers.get(dataset_name)
+            if not writers:
+                continue
+            writer = writers[0]
+            if writer != job_name and writer not in seen:
+                seen.add(writer)
+                producers.append(self._jobs[writer])
+        return producers
+
+    def _scan_producer_jobs(self, job_name: str) -> List[JobVertex]:
         vertex = self.job(job_name)
         producers: List[JobVertex] = []
+        seen: Set[str] = set()
         for dataset_name in vertex.job.input_datasets:
-            producer = self.producer_of(dataset_name)
-            if producer is not None and producer.name != job_name and producer not in producers:
+            producer = self._scan_producer_of(dataset_name)
+            if producer is not None and producer.name != job_name and producer.name not in seen:
+                seen.add(producer.name)
                 producers.append(producer)
         return producers
 
     def consumer_jobs(self, job_name: str) -> List[JobVertex]:
-        """Jobs that read any of this job's output datasets."""
+        """Jobs that read any of this job's output datasets (first-seen order)."""
+        vertex = self.job(job_name)
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_consumer_jobs(job_name)
+        TOPOLOGY_COUNTERS.index_queries += 1
+        index = self._topology()
+        consumers: List[JobVertex] = []
+        seen: Set[str] = set()
+        for dataset_name in vertex.job.output_datasets:
+            for reader in index.consumers.get(dataset_name, ()):
+                if reader != job_name and reader not in seen:
+                    seen.add(reader)
+                    consumers.append(self._jobs[reader])
+        return consumers
+
+    def _scan_consumer_jobs(self, job_name: str) -> List[JobVertex]:
         vertex = self.job(job_name)
         consumers: List[JobVertex] = []
+        seen: Set[str] = set()
         for dataset_name in vertex.job.output_datasets:
-            for consumer in self.consumers_of(dataset_name):
-                if consumer.name != job_name and consumer not in consumers:
+            for consumer in self._scan_consumers_of(dataset_name):
+                if consumer.name != job_name and consumer.name not in seen:
+                    seen.add(consumer.name)
                     consumers.append(consumer)
         return consumers
 
     def base_datasets(self) -> List[DatasetVertex]:
         """Dataset vertices produced by no job (the workflow inputs)."""
-        return [d for d in self._datasets.values() if self.producer_of(d.name) is None]
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_base_datasets()
+        TOPOLOGY_COUNTERS.index_queries += 1
+        producers = self._topology().producers
+        return [d for d in self._datasets.values() if not producers.get(d.name)]
+
+    def _scan_base_datasets(self) -> List[DatasetVertex]:
+        return [d for d in self._datasets.values() if self._scan_producer_of(d.name) is None]
 
     def terminal_datasets(self) -> List[DatasetVertex]:
         """Dataset vertices consumed by no job (the workflow outputs)."""
-        return [d for d in self._datasets.values() if not self.consumers_of(d.name)]
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_terminal_datasets()
+        TOPOLOGY_COUNTERS.index_queries += 1
+        consumers = self._topology().consumers
+        return [d for d in self._datasets.values() if not consumers.get(d.name)]
+
+    def _scan_terminal_datasets(self) -> List[DatasetVertex]:
+        return [d for d in self._datasets.values() if not self._scan_consumers_of(d.name)]
 
     def intermediate_datasets(self) -> List[DatasetVertex]:
         """Datasets both produced and consumed inside the workflow."""
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_intermediate_datasets()
+        TOPOLOGY_COUNTERS.index_queries += 1
+        index = self._topology()
         return [
             d
             for d in self._datasets.values()
-            if self.producer_of(d.name) is not None and self.consumers_of(d.name)
+            if index.producers.get(d.name) and index.consumers.get(d.name)
+        ]
+
+    def _scan_intermediate_datasets(self) -> List[DatasetVertex]:
+        return [
+            d
+            for d in self._datasets.values()
+            if self._scan_producer_of(d.name) is not None and self._scan_consumers_of(d.name)
         ]
 
     @property
@@ -349,22 +708,75 @@ class Workflow:
         """Jobs in topological (producer before consumer) order.
 
         Ties are broken by insertion order so traversal — and therefore the
-        optimizer's optimization-unit generation — is deterministic.
+        optimizer's optimization-unit generation — is deterministic: among
+        the ready jobs, the one inserted earliest is always emitted first
+        (a min-heap over insertion keys; the original implementation
+        re-sorted the ready list against a rebuilt name list every
+        iteration, with the same emitted order).  The order is cached on
+        the topology index and survives config-only CoW mutations;
+        structural edits invalidate it.
         """
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_topological_order()
+        index = self._topology()
+        if index.topo_names is None:
+            index.topo_names = self._compute_topo_names(index)
+            TOPOLOGY_COUNTERS.toposort_builds += 1
+        else:
+            TOPOLOGY_COUNTERS.toposort_cache_hits += 1
+        return [self._jobs[name] for name in index.topo_names]
+
+    def _compute_topo_names(self, index: _TopologyIndex) -> List[str]:
+        """Kahn's algorithm over the index, insertion-order tie-breaks."""
+        keys = index.order_keys
+        in_degree: Dict[str, int] = {}
+        heap: List[Tuple[int, str]] = []
+        for name, vertex in self._jobs.items():
+            seen: Set[str] = set()
+            for dataset_name in vertex.job.input_datasets:
+                writers = index.producers.get(dataset_name)
+                if writers:
+                    writer = writers[0]
+                    if writer != name and writer not in seen:
+                        seen.add(writer)
+            in_degree[name] = len(seen)
+            if not seen:
+                heap.append((keys[name], name))
+        heapq.heapify(heap)
+        order: List[str] = []
+        while heap:
+            _, name = heapq.heappop(heap)
+            order.append(name)
+            vertex = self._jobs[name]
+            notified: Set[str] = set()
+            for dataset_name in vertex.job.output_datasets:
+                for reader in index.consumers.get(dataset_name, ()):
+                    if reader == name or reader in notified:
+                        continue
+                    notified.add(reader)
+                    in_degree[reader] -= 1
+                    if in_degree[reader] == 0:
+                        heapq.heappush(heap, (keys[reader], reader))
+        if len(order) != len(self._jobs):
+            raise WorkflowValidationError("workflow graph contains a cycle")
+        return order
+
+    def _scan_topological_order(self) -> List[JobVertex]:
+        """Legacy-path topological sort (scan adjacency, heap tie-breaks)."""
         in_degree: Dict[str, int] = {}
         for vertex in self._jobs.values():
-            in_degree[vertex.name] = len(self.producer_jobs(vertex.name))
+            in_degree[vertex.name] = len(self._scan_producer_jobs(vertex.name))
+        position = {name: key for key, name in enumerate(self._jobs)}
+        heap = [(position[name], name) for name, degree in in_degree.items() if degree == 0]
+        heapq.heapify(heap)
         order: List[JobVertex] = []
-        ready = [name for name in self._jobs if in_degree[name] == 0]
-        while ready:
-            name = ready.pop(0)
-            vertex = self._jobs[name]
-            order.append(vertex)
-            for consumer in self.consumer_jobs(name):
+        while heap:
+            _, name = heapq.heappop(heap)
+            order.append(self._jobs[name])
+            for consumer in self._scan_consumer_jobs(name):
                 in_degree[consumer.name] -= 1
                 if in_degree[consumer.name] == 0:
-                    ready.append(consumer.name)
-            ready.sort(key=lambda n: list(self._jobs).index(n))
+                    heapq.heappush(heap, (position[consumer.name], consumer.name))
         if len(order) != len(self._jobs):
             raise WorkflowValidationError("workflow graph contains a cycle")
         return order
@@ -374,11 +786,37 @@ class Workflow:
 
         A job's level is one more than the maximum level of its producers;
         jobs in the same level have no dependency path between them and can
-        run concurrently on the cluster.
+        run concurrently on the cluster.  Cached alongside the topological
+        order (see :meth:`topological_order` for the invalidation rules).
         """
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_topological_levels()
+        index = self._topology()
+        if index.level_names is None:
+            order = self.topological_order()
+            levels: Dict[str, int] = {}
+            for vertex in order:
+                level = -1
+                for dataset_name in vertex.job.input_datasets:
+                    writers = index.producers.get(dataset_name)
+                    if writers and writers[0] != vertex.name:
+                        producer_level = levels[writers[0]]
+                        if producer_level > level:
+                            level = producer_level
+                levels[vertex.name] = level + 1
+            grouped: Dict[int, List[str]] = {}
+            for name, level in levels.items():
+                grouped.setdefault(level, []).append(name)
+            index.level_names = [grouped[level] for level in sorted(grouped)]
+            TOPOLOGY_COUNTERS.toposort_builds += 1
+        else:
+            TOPOLOGY_COUNTERS.toposort_cache_hits += 1
+        return [[self._jobs[name] for name in level] for level in index.level_names]
+
+    def _scan_topological_levels(self) -> List[List[JobVertex]]:
         levels: Dict[str, int] = {}
-        for vertex in self.topological_order():
-            producers = self.producer_jobs(vertex.name)
+        for vertex in self._scan_topological_order():
+            producers = self._scan_producer_jobs(vertex.name)
             levels[vertex.name] = 1 + max((levels[p.name] for p in producers), default=-1)
         grouped: Dict[int, List[JobVertex]] = {}
         for name, level in levels.items():
@@ -386,8 +824,19 @@ class Workflow:
         return [grouped[level] for level in sorted(grouped)]
 
     def depends_on(self, consumer: str, producer: str) -> bool:
-        """Whether ``consumer`` transitively depends on ``producer``."""
-        frontier = [consumer]
+        """Whether ``consumer`` transitively depends on ``producer``.
+
+        Self-dependency is ``False`` by definition: a job in a DAG never
+        precedes itself.  (The pre-index implementation started its upward
+        walk *at* ``consumer``, so ``depends_on(x, x)`` returned ``True``
+        for every job — callers pairing a job against itself would have
+        concluded it could never be packed with anything.)
+        """
+        if not _TOPOLOGY_INDEX_ENABLED:
+            return self._scan_depends_on(consumer, producer)
+        TOPOLOGY_COUNTERS.index_queries += 1
+        index = self._topology()
+        frontier = [p.name for p in self.producer_jobs(consumer)]
         seen: Set[str] = set()
         while frontier:
             current = frontier.pop()
@@ -396,7 +845,24 @@ class Workflow:
             if current in seen:
                 continue
             seen.add(current)
-            frontier.extend(p.name for p in self.producer_jobs(current))
+            current_vertex = self._jobs[current]
+            for dataset_name in current_vertex.job.input_datasets:
+                writers = index.producers.get(dataset_name)
+                if writers and writers[0] != current:
+                    frontier.append(writers[0])
+        return False
+
+    def _scan_depends_on(self, consumer: str, producer: str) -> bool:
+        frontier = [p.name for p in self._scan_producer_jobs(consumer)]
+        seen: Set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current == producer:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(p.name for p in self._scan_producer_jobs(current))
         return False
 
     # ----------------------------------------------------------------- copy
@@ -429,6 +895,13 @@ class Workflow:
         # clone, so the original must CoW its own future mutations too.
         self._shared_jobs = set(self._jobs)
         self._shared_datasets = set(self._datasets)
+        # The topology index is shared the same way: both sides keep the one
+        # object (cached order/levels included) until either mutates
+        # structure, at which point the mutator privatizes its copy first.
+        if self._topo_index is not None:
+            clone._topo_index = self._topo_index
+            clone._topo_shared = True
+            self._topo_shared = True
         return clone
 
     # --------------------------------------------------------- CoW mutation
@@ -441,6 +914,13 @@ class Workflow:
         borrows the job payload for callers that will rebind ``.job`` or
         only touch annotations; prefer :meth:`update_job` for the rebind
         pattern, which clears the borrow marker.
+
+        In-place edits through this accessor must not change which datasets
+        the job reads or writes — the topology index (and its cached
+        order/levels) deliberately survives ``mutate_job``, which is what
+        makes the configuration hot loop index-free.  Edge rewrites go
+        through :meth:`update_job` or :meth:`replace_job`, which diff the
+        dataset lists and update the index cone incrementally.
         """
         vertex = self.job(name)
         if name in self._shared_jobs:
@@ -474,12 +954,26 @@ class Workflow:
         edit.
         """
         vertex = self.mutate_job(name, copy_job=False)
-        new_job = derive(vertex.job)
+        old_job = vertex.job
+        new_job = derive(old_job)
         if new_job.name != name:
             raise WorkflowValidationError(
                 f"update_job cannot rename {name!r} to {new_job.name!r}; use replace_job"
             )
         vertex.job = new_job
+        # Config-only derivations (the hot path) keep the cached topology;
+        # a derivation that rewires datasets is a structural edit and must
+        # update the index cone like replace_job does.
+        if (
+            old_job.input_datasets != new_job.input_datasets
+            or old_job.output_datasets != new_job.output_datasets
+        ):
+            index = self._topology_for_mutation()
+            if index is not None:
+                index.replace_job(old_job, new_job)
+            for dataset_name in new_job.input_datasets + new_job.output_datasets:
+                if dataset_name not in self._datasets:
+                    self._datasets[dataset_name] = DatasetVertex(name=dataset_name)
         return vertex
 
     def dirty_jobs(self) -> Set[str]:
@@ -499,6 +993,9 @@ class Workflow:
         if name not in self._jobs:
             raise WorkflowValidationError(f"job {name!r} not in workflow")
         existing = self._jobs[name]
+        index = self._topology_for_mutation()
+        if index is not None:
+            index.replace_job(existing.job, job)
         if annotations is None:
             # Defaulting from a *shared* vertex must not alias its mutable
             # annotations container into the new (owned) vertex.

@@ -10,7 +10,11 @@ and a consumer job through a dataset:
 * **one-to-none** — a producer writes a terminal (workflow output) dataset.
 
 Transformations key their preconditions off these types, so classification is
-centralised here.
+centralised here.  All lookups go through the workflow's topology index
+(:mod:`repro.workflow.graph`): classifying one dataset is O(its consumers),
+and the workflow-wide sweeps (:func:`shared_input_groups`,
+:func:`concurrently_runnable_groups`) are O(datasets + edges) rather than
+O(datasets · jobs).
 """
 
 from __future__ import annotations

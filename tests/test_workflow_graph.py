@@ -88,6 +88,14 @@ class TestWorkflowStructure:
         assert not workflow.depends_on("J1", "J4")
         assert not workflow.depends_on("J2", "J3")
 
+    def test_depends_on_self_is_false(self):
+        """Regression (ISSUE 6): the upward walk used to start *at* the
+        consumer, so ``depends_on(x, x)`` was ``True`` for every job."""
+        workflow = build_diamond()
+        for name in workflow.job_names:
+            assert not workflow.depends_on(name, name)
+            assert not workflow._scan_depends_on(name, name)
+
     def test_validate_detects_double_writer(self):
         workflow = Workflow()
         workflow.add_job(_job("J1", "D0", "D1"))
@@ -127,6 +135,74 @@ class TestWorkflowStructure:
         workflow = build_diamond()
         with pytest.raises(WorkflowValidationError):
             workflow.remove_dataset("D1")
+
+
+def _pre_index_topological_order(workflow):
+    """The pre-ISSUE-6 topological sort, verbatim: FIFO ready list re-sorted
+    against a rebuilt name list every iteration.  Kept here as the ordering
+    oracle for the heap-based replacement."""
+    in_degree = {}
+    for vertex in workflow._jobs.values():
+        in_degree[vertex.name] = len(workflow._scan_producer_jobs(vertex.name))
+    order = []
+    ready = [name for name in workflow._jobs if in_degree[name] == 0]
+    while ready:
+        name = ready.pop(0)
+        vertex = workflow._jobs[name]
+        order.append(vertex)
+        for consumer in workflow._scan_consumer_jobs(name):
+            in_degree[consumer.name] -= 1
+            if in_degree[consumer.name] == 0:
+                ready.append(consumer.name)
+        ready.sort(key=lambda n: list(workflow._jobs).index(n))
+    if len(order) != len(workflow._jobs):
+        raise WorkflowValidationError("workflow graph contains a cycle")
+    return order
+
+
+class TestTopologicalOrderDeterminism:
+    """The heap-based sort emits byte-identical orders to the old one."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_heap_toposort_matches_pre_index_order_on_random_dags(self, seed):
+        from repro.verification import RandomWorkflowGenerator
+
+        generator = RandomWorkflowGenerator().with_config(
+            min_jobs=8, max_jobs=14, profile=False
+        )
+        workflow = generator.generate(seed).workflow
+        expected = [v.name for v in _pre_index_topological_order(workflow)]
+        assert [v.name for v in workflow.topological_order()] == expected
+        assert [v.name for v in workflow._scan_topological_order()] == expected
+
+    def test_heap_toposort_matches_after_replace_job(self):
+        workflow = build_diamond()
+        workflow.replace_job("J2", _job("J2b", "D1", "D2", reduce_key="k"))
+        expected = [v.name for v in _pre_index_topological_order(workflow)]
+        assert [v.name for v in workflow.topological_order()] == expected
+
+
+class TestProducerConsumerDedup:
+    """Seen-set dedup keeps first-seen output order (no O(n) membership)."""
+
+    def test_consumer_jobs_order_with_fan_out(self):
+        workflow = Workflow()
+        workflow.add_job(_job("P", "D0", "D1"))
+        for index in range(6):
+            workflow.add_job(_job(f"C{index}", "D1", f"D2_{index}"))
+        assert [c.name for c in workflow.consumer_jobs("P")] == [
+            f"C{index}" for index in range(6)
+        ]
+
+    def test_producer_jobs_order_follows_input_dataset_order(self):
+        workflow = Workflow()
+        workflow.add_job(_job("A", "S0", "DA"))
+        workflow.add_job(_job("B", "S0", "DB"))
+        # J reads DB before DA: producer order must follow its input order,
+        # not the producers' insertion order.
+        workflow.add_job(_job("J", ("DB", "DA"), "DJ"))
+        assert [p.name for p in workflow.producer_jobs("J")] == ["B", "A"]
+        assert [p.name for p in workflow._scan_producer_jobs("J")] == ["B", "A"]
 
 
 class TestSubgraphClassification:

@@ -1,0 +1,671 @@
+"""Unit-level decision memoization: skip the search for solved units.
+
+Stubby's cost is dominated by per-unit candidate enumeration, RRS sampling,
+and what-if costing.  Under repeated traffic — experiment cells sharing
+workloads, warm-started runs, near-identical user workflows — the *same*
+optimization units recur constantly, and the search re-derives the same
+answer every time.  :class:`DecisionCache` memoizes the **decision** itself:
+a map from a unit *content signature* to the recorded
+:class:`~repro.core.transformations.base.TransformationApplication` chain
+and chosen configuration settings that won that unit's search.
+
+On a hit, :meth:`~repro.core.search.StubbySearch.optimize_units` skips
+enumeration, RRS, and costing entirely and deterministically **replays** the
+recorded chain through the existing composition-replay machinery
+(:meth:`~repro.core.search.StubbySearch._apply_candidate`); on a miss it
+runs the full search and records the winning chain.  The hard contract —
+asserted by ``tests/test_decision_cache.py`` and the
+``BENCH_decision_cache.json`` benchmark — is that a replayed plan is
+**bit-identical** to a freshly searched one: same ``signature()``, same
+configurations, same recorded history.
+
+What makes a hit provably decision-equivalent is the key.  The search
+(:meth:`~repro.core.search.StubbySearch._decision_key`) derives it from
+everything that can influence the unit's argmin:
+
+* the unit subgraph's per-vertex local content keys (the incremental
+  :meth:`~repro.whatif.model.WhatIfEngine.vertex_content_key`), plus every
+  job's configuration, partitioner, and :class:`JobAnnotations` content;
+* input dataset profiles/annotations and the plan's structural signature —
+  workflow cost is a per-level *makespan* (a max), so a unit's best rewrite
+  can depend on neighbouring jobs, and the whole-plan content must pin it;
+* the :class:`~repro.cluster.ClusterSpec` and the search knobs: RRS
+  seed/budget, the transformation set (including per-transformation
+  options), enumeration caps, and
+  :data:`~repro.whatif.model.COST_MODEL_VERSION`.
+
+Change any of these and the key changes — the cache *misses*, never serves
+a stale decision (property-tested in ``tests/test_decision_cache.py``).
+
+Concurrency and persistence mirror :class:`~repro.whatif.service.CostService`
+exactly: lock-striped LRU shards, atomic stats with thread-local attribution
+sinks, fork-worker export-log/merge-on-join, origin-tagged entries for
+cross-cell hit attribution, and a versioned pickle snapshot
+(``STUBBY_DECISION_CACHE``) written atomically and rejected wholesale on any
+version/cluster mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.core.parallel import SideChannel
+from repro.core.transformations.base import TransformationApplication
+from repro.whatif import model as whatif_model
+from repro.whatif.service import (
+    CacheLoadReport,
+    _RestrictedUnpickler,
+    _ShardedCache,
+    atomic_pickle_write,
+    cluster_cache_key,
+)
+
+__all__ = [
+    "DECISION_CACHE_ENABLED_ENV_VAR",
+    "DECISION_CACHE_FORMAT_VERSION",
+    "DECISION_CACHE_PATH_ENV_VAR",
+    "DECISION_CACHE_VERIFY_ENV_VAR",
+    "DecisionCache",
+    "DecisionCacheStats",
+    "SubunitChoice",
+    "UnitDecision",
+    "decision_cache_enabled",
+    "decision_cache_side_channel",
+    "ensure_decision_cache",
+    "resolve_decision_cache_path",
+]
+
+#: Default bound on memoized unit decisions; old entries are evicted LRU.
+#: Decisions are tiny (a few application records), but unlike cost entries
+#: each one short-circuits an entire unit search, so the bound is generous.
+DEFAULT_MAX_DECISIONS = 50_000
+
+#: On-disk layout version of persisted decision files; files written under a
+#: different layout are rejected wholesale.
+DECISION_CACHE_FORMAT_VERSION = 1
+
+#: Environment variable naming a persisted decision-cache path — the
+#: decision-level sibling of ``STUBBY_COST_CACHE``, deliberately separate so
+#: cost-cache warm starts and decision warm starts can be opted into
+#: independently.
+DECISION_CACHE_PATH_ENV_VAR = "STUBBY_DECISION_CACHE"
+
+#: Environment kill switch: "0"/"false"/"no"/"off" disables decision
+#: memoization everywhere (the nightly equivalence sweep runs both ways).
+DECISION_CACHE_ENABLED_ENV_VAR = "STUBBY_DECISION_CACHE_ENABLED"
+
+#: Environment debug switch: truthy values make every cache hit *also* run
+#: the full search and assert the replayed plan is bit-identical to the
+#: searched one (slow; for debugging and the identity test suite).
+DECISION_CACHE_VERIFY_ENV_VAR = "STUBBY_DECISION_CACHE_VERIFY"
+
+#: Cap on decisions a forked worker ships back on merge-on-join.
+MAX_EXPORTED_DECISIONS = 5_000
+
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
+
+
+def _env_flag(env_var: str, default: bool) -> bool:
+    raw = os.environ.get(env_var, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in _FALSE_STRINGS
+
+
+def decision_cache_enabled(enabled: Optional[bool] = None) -> bool:
+    """Normalize the enable flag: explicit argument, else environment, else on."""
+    if enabled is not None:
+        return enabled
+    return _env_flag(DECISION_CACHE_ENABLED_ENV_VAR, True)
+
+
+def decision_cache_verify(verify: Optional[bool] = None) -> bool:
+    """Normalize the verify-hits flag: explicit argument, else environment."""
+    if verify is not None:
+        return verify
+    return _env_flag(DECISION_CACHE_VERIFY_ENV_VAR, False)
+
+
+def resolve_decision_cache_path(path: Optional[str]) -> Optional[str]:
+    """Normalize a decision-cache path: explicit path, else the environment.
+
+    ``None`` consults :data:`DECISION_CACHE_PATH_ENV_VAR`; an empty string
+    (explicit or from the environment) means "no persistence".
+    """
+    if path is not None:
+        return path or None
+    return os.environ.get(DECISION_CACHE_PATH_ENV_VAR, "").strip() or None
+
+
+@dataclass(frozen=True)
+class SubunitChoice:
+    """The winning rewrite of one independent sub-unit.
+
+    Everything :meth:`~repro.core.search.StubbySearch._apply_candidate`
+    needs to reproduce the chosen candidate without searching: the
+    application chain, the RRS-chosen settings (stored as sorted plain
+    tuples so the choice is hashable and picklable), and the recorded cost.
+    """
+
+    transformations: Tuple[str, ...]
+    applications: Tuple[TransformationApplication, ...]
+    #: ``((job_name, ((param, value), ...)), ...)`` sorted by job then param.
+    best_settings: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...]
+    estimated_cost: float = float("inf")
+
+    def settings_dict(self) -> Dict[str, Dict[str, object]]:
+        """The stored settings as the mapping the replay machinery applies."""
+        return {job: dict(params) for job, params in self.best_settings}
+
+    @classmethod
+    def from_record(cls, record) -> "SubunitChoice":
+        """Build from a chosen :class:`~repro.core.search.SubplanRecord`."""
+        return cls(
+            transformations=tuple(record.transformations),
+            applications=tuple(record.applications),
+            best_settings=tuple(
+                sorted(
+                    (job, tuple(sorted(params.items())))
+                    for job, params in record.best_settings.items()
+                )
+            ),
+            estimated_cost=record.estimated_cost,
+        )
+
+    @classmethod
+    def no_op(cls) -> "SubunitChoice":
+        """The empty choice (a unit whose search retained nothing)."""
+        return cls(transformations=(), applications=(), best_settings=())
+
+
+@dataclass(frozen=True)
+class UnitDecision:
+    """The complete recorded outcome of one unit's search: one choice per
+    independent sub-unit, in sub-unit order."""
+
+    choices: Tuple[SubunitChoice, ...]
+
+
+@dataclass
+class DecisionCacheStats:
+    """Counters describing how often unit searches were skipped.
+
+    ``decision_hits`` / ``decision_misses`` count unit-level lookups (one per
+    ``optimize_units`` call with the cache enabled).  ``cross_origin_hits``
+    counts the hits served by a decision another origin (a different
+    experiment cell, or a warm-started persisted file) recorded — mirroring
+    :attr:`~repro.whatif.service.CostServiceStats.cross_origin_hits`.
+    ``replayed_subunits`` counts the sub-unit searches a hit saved.
+    """
+
+    decision_hits: int = 0
+    decision_misses: int = 0
+    cross_origin_hits: int = 0
+    stores: int = 0
+    replayed_subunits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Unit-level lookups performed."""
+        return self.decision_hits + self.decision_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unit lookups answered from the cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.decision_hits / self.lookups
+
+    def accumulate(self, delta: "DecisionCacheStats") -> None:
+        """Add another stats delta into this one, in place."""
+        self.decision_hits += delta.decision_hits
+        self.decision_misses += delta.decision_misses
+        self.cross_origin_hits += delta.cross_origin_hits
+        self.stores += delta.stores
+        self.replayed_subunits += delta.replayed_subunits
+
+    def snapshot(self) -> "DecisionCacheStats":
+        """Immutable copy of the current counters."""
+        return replace(self)
+
+    def since(self, before: "DecisionCacheStats") -> "DecisionCacheStats":
+        """Counter delta between this snapshot and an earlier one."""
+        return DecisionCacheStats(
+            decision_hits=self.decision_hits - before.decision_hits,
+            decision_misses=self.decision_misses - before.decision_misses,
+            cross_origin_hits=self.cross_origin_hits - before.cross_origin_hits,
+            stores=self.stores - before.stores,
+            replayed_subunits=self.replayed_subunits - before.replayed_subunits,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "decision_hits": self.decision_hits,
+            "decision_misses": self.decision_misses,
+            "cross_origin_hits": self.cross_origin_hits,
+            "stores": self.stores,
+            "replayed_subunits": self.replayed_subunits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class DecisionCache:
+    """Sharded, LRU, optionally persisted memo of unit search decisions.
+
+    One instance is safe to share across search threads, forked workers, and
+    experiment cells — the concurrency model is the
+    :class:`~repro.whatif.service.CostService` one: lock-striped shards,
+    atomic stats with thread-local attribution sinks, export-log
+    merge-on-join for forked workers, origin-tagged entries.
+
+    ``enabled=False`` (or ``STUBBY_DECISION_CACHE_ENABLED=0``) turns every
+    lookup into a no-answer and every store into a no-op, so a disabled
+    cache is behaviourally invisible.  ``verify_hits=True`` (or
+    ``STUBBY_DECISION_CACHE_VERIFY=1``) makes the search re-derive every hit
+    from scratch and assert bit-identity — the debug mode of the hard
+    replay-equals-search contract.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        max_entries: int = DEFAULT_MAX_DECISIONS,
+        enabled: Optional[bool] = None,
+        cache_path: Optional[str] = None,
+        verify_hits: Optional[bool] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.enabled = decision_cache_enabled(enabled)
+        self.verify_hits = decision_cache_verify(verify_hits)
+        self.max_entries = max(1, max_entries)
+        self._cache = _ShardedCache(self.max_entries)
+        self.stats = DecisionCacheStats()
+        self._stats_lock = threading.Lock()
+        self._sinks = threading.local()
+        #: Append-only log of decisions stored since :meth:`start_export_log`;
+        #: enabled only inside forked workers (single-threaded).
+        self._export_log: Optional[List[Tuple[Tuple, UnitDecision, object]]] = None
+        self.cache_path = cache_path
+        #: Outcome of the constructor's warm-start attempt (``None`` when no
+        #: path was configured or the cache is disabled).
+        self.last_load: Optional[CacheLoadReport] = None
+        if self.cache_path and self.enabled:
+            self.last_load = self.load_cache(self.cache_path)
+
+    # ------------------------------------------------------------------ API
+    def lookup(self, key: Tuple, origin: Optional[str] = None) -> Optional[Tuple[UnitDecision, bool]]:
+        """The recorded decision for ``key``, or ``None`` on a miss.
+
+        Returns ``(decision, cross_origin)`` — the second element is True
+        when the entry was stored under a different origin label than the
+        caller's (another cell's work, or a warm-started file).
+        """
+        if not self.enabled:
+            return None
+        entry = self._cache.lookup(key)
+        delta = DecisionCacheStats()
+        if entry is None:
+            delta.decision_misses = 1
+            self._apply_delta(delta)
+            return None
+        decision, entry_origin = entry
+        cross_origin = entry_origin != origin
+        delta.decision_hits = 1
+        if cross_origin:
+            delta.cross_origin_hits = 1
+        delta.replayed_subunits = len(decision.choices)
+        self._apply_delta(delta)
+        return decision, cross_origin
+
+    def store(self, key: Tuple, decision: UnitDecision, origin: Optional[str] = None) -> None:
+        """Record the winning decision for ``key`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        new = self._cache.store(key, decision, origin)
+        self._apply_delta(DecisionCacheStats(stores=1))
+        if new and self._export_log is not None:
+            self._export_log.append((key, decision, origin))
+
+    # ------------------------------------------------------- stats plumbing
+    def _apply_delta(self, delta: DecisionCacheStats) -> None:
+        """Fold a stats delta into the global counters and this thread's sinks."""
+        with self._stats_lock:
+            self.stats.accumulate(delta)
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def _sink_stack(self) -> List[DecisionCacheStats]:
+        stack = getattr(self._sinks, "stack", None)
+        if stack is None:
+            stack = []
+            self._sinks.stack = stack
+        return stack
+
+    @contextmanager
+    def attribute_to(self, sink: DecisionCacheStats):
+        """Also credit this thread's lookups/stores to ``sink`` while active."""
+        stack = self._sink_stack()
+        stack.append(sink)
+        try:
+            yield sink
+        finally:
+            stack.pop()
+
+    def apply_external_delta(self, delta: DecisionCacheStats) -> None:
+        """Fold in work performed by a foreign process (merge-on-join)."""
+        self._apply_delta(delta)
+
+    def apply_sink_only_delta(self, delta: DecisionCacheStats) -> None:
+        """Re-attribute work already counted globally to this thread's sinks."""
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def stats_snapshot(self) -> DecisionCacheStats:
+        """Consistent copy of the global counters."""
+        with self._stats_lock:
+            return self.stats.snapshot()
+
+    # ------------------------------------------------- process merge-on-join
+    def start_export_log(self) -> None:
+        """Begin recording newly stored decisions (forked workers only)."""
+        self._export_log = []
+
+    def export_log_entries(self) -> List[Tuple[Tuple, UnitDecision, object]]:
+        """Drain the export log; freshest :data:`MAX_EXPORTED_DECISIONS` win."""
+        log = self._export_log or []
+        self._export_log = None
+        return log[-MAX_EXPORTED_DECISIONS:]
+
+    def absorb_entries(self, entries: List[Tuple[Tuple, UnitDecision, object]]) -> None:
+        """Merge decisions exported by a worker (or loaded from disk).
+
+        Keys are content-based and decisions deterministic, so merging is
+        idempotent and order-independent; entries keep the origin label they
+        were stored under, preserving cross-origin attribution.
+        """
+        for key, decision, origin in entries:
+            self._cache.store(key, decision, origin)
+
+    # ------------------------------------------------------------ persistence
+    def save_cache(self, path: Optional[str] = None) -> int:
+        """Persist the decision store to ``path`` (default: ``cache_path``).
+
+        The payload is stamped with the on-disk format version, the cost
+        model version, and the cluster key — a decision is only valid for
+        the exact cost model and cluster it was searched under.  The write
+        is atomic (temp file + ``os.replace``).  Returns the entry count.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no decision cache path configured (pass path= or set cache_path)")
+        entries = [
+            (key, decision, origin)
+            for rows in self._cache.shard_items()
+            for key, decision, origin in rows
+        ]
+        payload = {
+            "format_version": DECISION_CACHE_FORMAT_VERSION,
+            # Read through the module so tests monkeypatching the version
+            # see the stamp move.
+            "model_version": whatif_model.COST_MODEL_VERSION,
+            "cluster_key": cluster_cache_key(self.cluster),
+            "entries": entries,
+        }
+        atomic_pickle_write(path, payload)
+        return len(entries)
+
+    def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
+        """Warm-start from a persisted decision file; never raises on bad input.
+
+        Rejection is quiet and all-or-nothing: missing, corrupt, truncated,
+        or version/cluster-mismatched files contribute nothing.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no decision cache path configured (pass path= or set cache_path)")
+        if not os.path.exists(path):
+            return CacheLoadReport(loaded=False, reason="no cache file")
+        try:
+            with open(path, "rb") as handle:
+                payload = _RestrictedUnpickler(handle).load()
+        except Exception as exc:  # corrupt, truncated, or not a pickle at all
+            return CacheLoadReport(
+                loaded=False, reason=f"unreadable cache file ({type(exc).__name__})"
+            )
+        if not isinstance(payload, dict):
+            return CacheLoadReport(loaded=False, reason="malformed cache payload")
+        if payload.get("format_version") != DECISION_CACHE_FORMAT_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"format version mismatch ({payload.get('format_version')!r} "
+                f"!= {DECISION_CACHE_FORMAT_VERSION!r})",
+            )
+        if payload.get("model_version") != whatif_model.COST_MODEL_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"cost model version mismatch ({payload.get('model_version')!r} "
+                f"!= {whatif_model.COST_MODEL_VERSION!r})",
+            )
+        if payload.get("cluster_key") != cluster_cache_key(self.cluster):
+            return CacheLoadReport(
+                loaded=False, reason="cache was computed for a different ClusterSpec"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return CacheLoadReport(loaded=False, reason="malformed cache payload")
+        # Validate every row before absorbing any — all-or-nothing.
+        for row in entries:
+            if not (
+                isinstance(row, tuple)
+                and len(row) == 3
+                and isinstance(row[0], tuple)
+                and isinstance(row[1], UnitDecision)
+            ):
+                return CacheLoadReport(loaded=False, reason="malformed cache entries")
+        self.absorb_entries(entries)
+        return CacheLoadReport(loaded=True, entries=len(entries), reason="ok")
+
+    # ------------------------------------------------------------ cache mgmt
+    def invalidate(self) -> None:
+        """Drop every memoized decision (stats are kept)."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized unit decisions."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionCache(entries={len(self._cache)}, enabled={self.enabled}, "
+            f"hits={self.stats.decision_hits}, misses={self.stats.decision_misses})"
+        )
+
+
+def ensure_decision_cache(
+    cluster: ClusterSpec,
+    cache: Optional[DecisionCache] = None,
+    cache_path: Optional[str] = None,
+) -> DecisionCache:
+    """Return ``cache`` if given, else a fresh :class:`DecisionCache`.
+
+    The sibling of :func:`~repro.core.costing.ensure_cost_service`: a shared
+    cache must have been built for the same cluster — a recorded decision is
+    only the argmin for the cluster it was searched under, so cross-cluster
+    sharing would silently replay wrong plans.  ``cache_path`` applies only
+    when a fresh cache is constructed (explicit argument, else the
+    ``STUBBY_DECISION_CACHE`` environment variable).
+    """
+    if cache is None:
+        return DecisionCache(cluster, cache_path=resolve_decision_cache_path(cache_path))
+    if cache.cluster != cluster:
+        raise ValueError(
+            "decision cache was built for a different ClusterSpec; "
+            "recorded decisions are only valid for the cluster they were searched on"
+        )
+    return cache
+
+
+def decision_cache_side_channel(cache: DecisionCache) -> SideChannel:
+    """Wire a :class:`DecisionCache` into a backend session's side channel.
+
+    The exact analogue of
+    :func:`~repro.core.costing.cost_service_side_channel`: thread workers
+    re-attribute their stats delta to the calling thread's sinks, forked
+    workers export their privately recorded decisions and full stats delta
+    for merge-on-join.  Origins need no propagation of their own — the
+    search reads its origin from the cost service, whose side channel
+    already re-establishes the session opener's label per worker chunk.
+    """
+
+    def chunk_begin():
+        sink = DecisionCacheStats()
+        cache._sink_stack().append(sink)
+        return sink
+
+    def chunk_end(sink) -> DecisionCacheStats:
+        cache._sink_stack().pop()
+        return sink
+
+    return SideChannel(
+        worker_init=cache.start_export_log,
+        chunk_begin=chunk_begin,
+        chunk_end=chunk_end,
+        chunk_absorb_shared=cache.apply_sink_only_delta,
+        chunk_absorb_foreign=cache.apply_external_delta,
+        final_export=cache.export_log_entries,
+        final_absorb=cache.absorb_entries,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content-key helpers
+# ---------------------------------------------------------------------------
+#
+# The search composes these into the full decision key.  They all return
+# hashable, picklable, *content-based* plain tuples — `hash()` is only ever
+# used for shard placement; equality (and therefore hits) is by content.
+
+
+def plain_value_key(value) -> Tuple:
+    """A hashable content tuple for an arbitrary annotation/condition value."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return ("atom", value)
+    if isinstance(value, (tuple, list)):
+        return ("seq",) + tuple(plain_value_key(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted((plain_value_key(item) for item in value), key=repr))
+    if isinstance(value, Mapping):
+        return ("map",) + tuple(
+            sorted(((str(k), plain_value_key(v)) for k, v in value.items()), key=repr)
+        )
+    return ("repr", type(value).__name__, repr(value))
+
+
+def partition_function_key(partitioner) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.mapreduce.partitioner.PartitionFunction`."""
+    if partitioner is None:
+        return None
+    return (
+        partitioner.kind,
+        tuple(partitioner.fields),
+        tuple(partitioner.effective_sort_fields),
+        tuple(partitioner.split_points),
+    )
+
+
+def filter_annotation_key(filter_annotation) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.FilterAnnotation`."""
+    if filter_annotation is None:
+        return None
+    return tuple(
+        sorted(
+            (name, rng.low, rng.high)
+            for name, rng in filter_annotation.ranges.items()
+        )
+    )
+
+
+def schema_annotation_key(schema) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.SchemaAnnotation`."""
+    if schema is None:
+        return None
+    return tuple(
+        None if component is None else tuple(sorted(component))
+        for component in (schema.k1, schema.v1, schema.k2, schema.v2, schema.k3, schema.v3)
+    )
+
+
+def job_annotations_key(annotations) -> Tuple:
+    """Content key of one job's :class:`JobAnnotations`.
+
+    The profile is deliberately *not* re-keyed here: its content already
+    reaches the decision key through the vertex local key
+    (:attr:`~repro.whatif.model._VertexLocalKey.profile_key`).
+    """
+    return (
+        schema_annotation_key(annotations.schema),
+        filter_annotation_key(annotations.filter),
+        tuple(
+            sorted(
+                (name, filter_annotation_key(flt))
+                for name, flt in annotations.per_input_filters.items()
+            )
+        ),
+        partition_function_key(annotations.partition_constraint),
+        tuple(
+            sorted(
+                ((str(name), plain_value_key(value)) for name, value in annotations.conditions.items()),
+                key=repr,
+            )
+        ),
+    )
+
+
+def dataset_annotation_key(annotation) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.DatasetAnnotation`."""
+    if annotation is None:
+        return None
+    return (
+        annotation.schema,
+        annotation.partition_kind,
+        annotation.partition_fields,
+        annotation.split_points,
+        annotation.sort_fields,
+        annotation.compressed,
+        annotation.size_bytes,
+        annotation.num_records,
+        tuple(sorted(annotation.field_ranges.items())),
+    )
+
+
+def rrs_search_key(rrs) -> Tuple:
+    """Every knob of a :class:`~repro.core.rrs.RecursiveRandomSearch` that
+    can change which configuration the search returns."""
+    return (
+        rrs.exploration_samples,
+        rrs.exploitation_samples,
+        rrs.initial_radius,
+        rrs.shrink_factor,
+        rrs.min_radius,
+        rrs.restarts,
+        rrs.seed,
+    )
+
+
+def transformation_key(transformation) -> Tuple:
+    """Content key of one transformation instance: name plus every
+    constructor option (e.g. ``HorizontalPacking.allow_extended``)."""
+    options = tuple(
+        sorted(
+            ((name, plain_value_key(value)) for name, value in vars(transformation).items()),
+            key=repr,
+        )
+    )
+    return (transformation.name, options)

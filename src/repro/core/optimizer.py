@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster import ClusterSpec
 from repro.core.costing import CostService, CostServiceStats, StatsWindow, ensure_cost_service
+from repro.core.decision_cache import DecisionCache, ensure_decision_cache
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
 from repro.core.search import StubbySearch, UnitReport
@@ -61,6 +62,21 @@ class OptimizationResult:
         """Names of all transformations recorded in the optimized plan."""
         return self.plan.transformations_applied()
 
+    @property
+    def unit_decision_hits(self) -> int:
+        """Optimization units whose entire search was skipped via a memoized decision."""
+        return sum(report.unit_decision_hits for report in self.unit_reports)
+
+    @property
+    def unit_decision_misses(self) -> int:
+        """Optimization units that were searched (and whose decision was recorded)."""
+        return sum(report.unit_decision_misses for report in self.unit_reports)
+
+    @property
+    def cross_origin_decision_hits(self) -> int:
+        """Decision hits served by another origin (cell, run, or persisted file)."""
+        return sum(report.cross_origin_decision_hits for report in self.unit_reports)
+
 
 class StubbyOptimizer:
     """Cost-based, transformation-based optimizer for MapReduce workflows."""
@@ -78,6 +94,8 @@ class StubbyOptimizer:
         cost_service: Optional[CostService] = None,
         backend=None,
         cache_path: Optional[str] = None,
+        decision_cache: Optional[DecisionCache] = None,
+        decision_cache_path: Optional[str] = None,
     ) -> None:
         # Phases are validated lazily, when optimize() actually uses them, so
         # an optimizer can be constructed from not-yet-complete configuration
@@ -87,10 +105,15 @@ class StubbyOptimizer:
         # a standalone optimizer warm-start its cost service from a persisted
         # cache; call ``self.costs.save_cache()`` to write the store back.
         # It is ignored when an explicit ``cost_service`` is shared in.
+        # ``decision_cache`` / ``decision_cache_path`` work the same way for
+        # the unit-level decision memo (STUBBY_DECISION_CACHE).
         self.cluster = cluster
         self.phases = tuple(phases)
         self.costs = ensure_cost_service(cluster, cost_service, cache_path=cache_path)
         self.whatif = self.costs.engine
+        self.decisions = ensure_decision_cache(
+            cluster, decision_cache, cache_path=decision_cache_path
+        )
         vertical = [
             IntraJobVerticalPacking(),
             InterJobVerticalPacking(),
@@ -109,6 +132,7 @@ class StubbyOptimizer:
             optimize_configurations=optimize_configurations,
             cost_service=self.costs,
             backend=backend,
+            decision_cache=self.decisions,
         )
 
     # ------------------------------------------------------------------ API

@@ -54,6 +54,7 @@ __all__ = [
     "ThreadBackend",
     "available_backends",
     "create_backend",
+    "merge_side_channels",
     "resolve_backend",
 ]
 
@@ -97,6 +98,71 @@ class SideChannel:
     chunk_absorb_foreign: Optional[Callable[[Any], None]] = None
     final_export: Optional[Callable[[], Any]] = None
     final_absorb: Optional[Callable[[Any], None]] = None
+
+
+def merge_side_channels(*channels: Optional[SideChannel]) -> Optional[SideChannel]:
+    """Compose several side channels into one riding a single session.
+
+    A backend session accepts exactly one :class:`SideChannel`; when two
+    services need to move state across the same fan-out (the cost service
+    *and* the decision cache of one experiment run), their channels are
+    merged: every hook calls the members' hooks in order, and the chunk
+    tokens / payloads / final exports become tuples with one slot per
+    member.  ``None`` members are tolerated (their slots stay ``None``), a
+    single live member is returned as-is (zero overhead), and no live
+    members merge to ``None``.
+    """
+    live = [channel for channel in channels if channel is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def worker_init() -> None:
+        for channel in live:
+            if channel.worker_init:
+                channel.worker_init()
+
+    def chunk_begin() -> Tuple:
+        return tuple(
+            channel.chunk_begin() if channel.chunk_begin else None for channel in live
+        )
+
+    def chunk_end(tokens: Tuple) -> Tuple:
+        return tuple(
+            channel.chunk_end(token) if channel.chunk_end else None
+            for channel, token in zip(live, tokens)
+        )
+
+    def chunk_absorb_shared(payloads: Tuple) -> None:
+        for channel, payload in zip(live, payloads):
+            if payload is not None and channel.chunk_absorb_shared:
+                channel.chunk_absorb_shared(payload)
+
+    def chunk_absorb_foreign(payloads: Tuple) -> None:
+        for channel, payload in zip(live, payloads):
+            if payload is not None and channel.chunk_absorb_foreign:
+                channel.chunk_absorb_foreign(payload)
+
+    def final_export() -> Tuple:
+        return tuple(
+            channel.final_export() if channel.final_export else None for channel in live
+        )
+
+    def final_absorb(payloads: Tuple) -> None:
+        for channel, payload in zip(live, payloads):
+            if payload is not None and channel.final_absorb:
+                channel.final_absorb(payload)
+
+    return SideChannel(
+        worker_init=worker_init,
+        chunk_begin=chunk_begin,
+        chunk_end=chunk_end,
+        chunk_absorb_shared=chunk_absorb_shared,
+        chunk_absorb_foreign=chunk_absorb_foreign,
+        final_export=final_export,
+        final_absorb=final_absorb,
+    )
 
 
 class BackendSession(ABC):

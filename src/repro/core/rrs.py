@@ -45,6 +45,12 @@ class RRSResult:
     best_value: float
     evaluations: int
     trajectory: List[float] = field(default_factory=list)
+    #: Sampled points that were *not* dispatched to the objective because an
+    #: identical point had already been evaluated in this search (within the
+    #: same generation or an earlier one).  ``evaluations`` counts only
+    #: dispatched points, so ``evaluations + duplicate_points`` is the total
+    #: number of points the search drew.
+    duplicate_points: int = 0
 
 
 class RecursiveRandomSearch:
@@ -100,25 +106,53 @@ class RecursiveRandomSearch:
         )
         rng = rng or DeterministicRNG(self.seed)
         evaluations = 0
+        duplicate_points = 0
         trajectory: List[float] = []
+        #: Every value computed so far, keyed by point content.  Identical
+        #: points — within one generation or across generations of the same
+        #: search — are dispatched to the objective once; duplicates reuse
+        #: the memoized value.  The objective is deterministic in the point
+        #: (same forked RNG stream per candidate), so the per-point values
+        #: the search state folds in are identical to evaluating everything,
+        #: and the argmin is unchanged.
+        evaluated: Dict[tuple, float] = {}
 
         best_point: Dict[str, object] = {}
         best_value = float("inf")
 
+        def point_key(point: Mapping[str, object]) -> tuple:
+            return tuple(sorted(point.items()))
+
         def run_generation(points: Sequence[Mapping[str, object]]) -> List[float]:
-            nonlocal evaluations
-            values = list(evaluate(points))
-            if len(values) != len(points):
+            nonlocal evaluations, duplicate_points
+            fresh: List[Mapping[str, object]] = []
+            fresh_keys: List[tuple] = []
+            keys = [point_key(point) for point in points]
+            for point, key in zip(points, keys):
+                if key not in evaluated and key not in fresh_keys:
+                    fresh.append(point)
+                    fresh_keys.append(key)
+            duplicate_points += len(points) - len(fresh)
+            values = list(evaluate(fresh)) if fresh else []
+            if len(values) != len(fresh):
                 raise ValueError(
-                    f"objective_batch returned {len(values)} values for {len(points)} points"
+                    f"objective_batch returned {len(values)} values for {len(fresh)} points"
                 )
             evaluations += len(values)
             trajectory.extend(values)
-            return values
+            for key, value in zip(fresh_keys, values):
+                evaluated[key] = value
+            return [evaluated[key] for key in keys]
 
         if not space.dimensions:
             value = run_generation([{}])[0]
-            return RRSResult(best_point={}, best_value=value, evaluations=evaluations, trajectory=trajectory)
+            return RRSResult(
+                best_point={},
+                best_value=value,
+                evaluations=evaluations,
+                trajectory=trajectory,
+                duplicate_points=duplicate_points,
+            )
 
         if initial_point is not None:
             candidate = space.clamp(initial_point)
@@ -169,4 +203,5 @@ class RecursiveRandomSearch:
             best_value=best_value,
             evaluations=evaluations,
             trajectory=trajectory,
+            duplicate_points=duplicate_points,
         )

@@ -45,6 +45,17 @@ from repro.core.costing import (
     cost_service_side_channel,
     ensure_cost_service,
 )
+from repro.core.decision_cache import (
+    DecisionCache,
+    SubunitChoice,
+    UnitDecision,
+    dataset_annotation_key,
+    ensure_decision_cache,
+    job_annotations_key,
+    partition_function_key,
+    rrs_search_key,
+    transformation_key,
+)
 from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
 from repro.core.parallel import BackendSession, ExecutionBackend, resolve_backend
 from repro.core.plan import Plan
@@ -52,6 +63,8 @@ from repro.core.rrs import RecursiveRandomSearch
 from repro.core.transformations.base import Transformation, TransformationApplication
 from repro.core.transformations.configuration import ConfigurationTransformation
 from repro.mapreduce.config import ConfigDimension, ConfigurationSpace
+from repro.whatif import model as whatif_model
+from repro.whatif.service import cluster_cache_key
 
 #: Caps keeping the exhaustive enumeration inside a unit bounded; in practice
 #: (paper §4.2) the number of unique subplans per unit is small.
@@ -100,6 +113,19 @@ class UnitReport:
     #: What-if queries spent scoring composed sub-unit combinations (set on
     #: the first report of a split unit; zero for unsplit units).
     composition_queries: int = 0
+    #: Composed index-vector combinations considered for a split unit (set
+    #: on the first report, like ``composition_queries``).  Content-identical
+    #: compositions are costed once, so ``composition_queries`` can be lower.
+    composition_combinations: int = 0
+    #: Decision-cache activity of this unit (set on the first report of the
+    #: unit's group): 1 hit when the whole unit search was skipped and the
+    #: recorded decision replayed, 1 miss when the search ran (and its
+    #: outcome was recorded), 0/0 when the decision cache is disabled.
+    unit_decision_hits: int = 0
+    unit_decision_misses: int = 0
+    #: Hits served by a decision another origin recorded (a different
+    #: experiment cell or a warm-started persisted decision file).
+    cross_origin_decision_hits: int = 0
     #: The full plan before and after this unit was optimized.  The
     #: differential-verification harness replays ``plan_after`` to bisect an
     #: output divergence down to the single unit — and therefore the single
@@ -151,6 +177,7 @@ class StubbySearch:
         optimize_configurations: bool = True,
         cost_service: Optional[CostService] = None,
         backend=None,
+        decision_cache: Optional[DecisionCache] = None,
     ) -> None:
         self.cluster = cluster
         #: All cost queries go through the shared (memoizing) service; the
@@ -167,7 +194,15 @@ class StubbySearch:
         #: backend instance, a spec string ("process:4"), or None (the
         #: STUBBY_SEARCH_BACKEND environment variable, default serial).
         self.backend: ExecutionBackend = resolve_backend(backend)
+        self.seed = seed
         self._rng = DeterministicRNG(seed)
+        #: Memoized unit decisions (:mod:`repro.core.decision_cache`): a unit
+        #: whose content key was solved before replays its recorded rewrite
+        #: chain instead of searching.  Shared in by the optimizer/harness
+        #: for cross-run and cross-cell reuse; constructed fresh (and
+        #: possibly warm-started from STUBBY_DECISION_CACHE) otherwise.
+        self.decisions = ensure_decision_cache(cluster, decision_cache)
+        self._cluster_key = cluster_cache_key(cluster)
 
     # ------------------------------------------------------------------ API
     def run(self, plan: Plan, phases: Sequence[str] = ("vertical", "horizontal")) -> Tuple[Plan, List[UnitReport]]:
@@ -225,6 +260,46 @@ class StubbySearch:
         transformations: Sequence[Transformation],
         phase: str = "vertical",
     ) -> Tuple[Plan, List[UnitReport]]:
+        """Optimize one unit's independent sub-units: memoized search.
+
+        With the decision cache enabled, the unit's content key is looked up
+        first: a hit **replays** the recorded rewrite chain through
+        :meth:`_apply_candidate` — no enumeration, no RRS, no costing — and
+        is bit-identical to a fresh search by the key's construction
+        (``verify_hits`` mode asserts it on every hit).  A miss runs the
+        full search (:meth:`_search_units`) and records the winning
+        per-sub-unit chains.
+        """
+        decisions = self.decisions
+        key = None
+        origin = None
+        if decisions is not None and decisions.enabled:
+            key = self._decision_key(plan, subunits, transformations, phase)
+            origin = self.costs.current_origin()
+            hit = decisions.lookup(key, origin=origin)
+            if hit is not None and len(hit[0].choices) == len(subunits):
+                decision, cross_origin = hit
+                replayed = self._replay_decision(plan, subunits, decision, transformations, phase)
+                replayed[1][0].unit_decision_hits = 1
+                if cross_origin:
+                    replayed[1][0].cross_origin_decision_hits = 1
+                if decisions.verify_hits:
+                    self._verify_replay(plan, subunits, transformations, phase, replayed[0])
+                return replayed
+
+        optimized, reports = self._search_units(plan, subunits, transformations, phase)
+        if key is not None:
+            reports[0].unit_decision_misses = 1
+            decisions.store(key, self._record_decision(reports), origin=origin)
+        return optimized, reports
+
+    def _search_units(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        transformations: Sequence[Transformation],
+        phase: str = "vertical",
+    ) -> Tuple[Plan, List[UnitReport]]:
         """Enumerate, cost, choose, and compose over independent sub-units.
 
         All candidates of all sub-units are costed through the execution
@@ -260,6 +335,159 @@ class StubbySearch:
         if len(subunits) == 1:
             return self._choose_single(plan, subunits[0], per_subunit[0], phase)
         return self._choose_composed(plan, subunits, per_subunit, transformations, phase)
+
+    # ----------------------------------------------------- decision memoization
+    def _decision_key(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        transformations: Sequence[Transformation],
+        phase: str,
+    ) -> Tuple:
+        """Everything that determines this unit's argmin, as a hashable tuple.
+
+        Workflow cost is a per-level makespan — a *max* — so a unit's best
+        rewrite can depend on jobs outside the unit; the key therefore pins
+        the **whole plan's** content (per-vertex local keys, configurations,
+        partitioners, annotations, dataset annotations, merge lineage,
+        structural signature), the unit decomposition, and every search knob
+        (RRS parameters including the seed, the transformation set with its
+        options, the enumeration caps, the cost-model version, the cluster).
+        Equal keys are decision-equivalent by construction; any input change
+        produces a miss, never a stale hit.
+        """
+        workflow = plan.workflow
+        job_parts = []
+        for vertex in workflow.jobs:
+            job = vertex.job
+            job_parts.append(
+                (
+                    vertex.name,
+                    self.whatif.vertex_content_key(vertex),
+                    tuple(sorted(job.config.as_dict().items())),
+                    partition_function_key(job.effective_partitioner),
+                    job_annotations_key(vertex.annotations),
+                )
+            )
+        dataset_parts = []
+        for dataset_vertex in workflow.datasets:
+            dataset = dataset_vertex.dataset
+            dataset_parts.append(
+                (
+                    dataset_vertex.name,
+                    dataset_annotation_key(dataset_vertex.annotation),
+                    None
+                    if dataset is None
+                    else (dataset.logical_bytes, dataset.logical_records),
+                )
+            )
+        return (
+            ("unit", tuple((subunit.producers, subunit.consumers) for subunit in subunits)),
+            ("jobs", tuple(job_parts)),
+            ("datasets", tuple(dataset_parts)),
+            ("lineage", tuple(sorted(plan.merge_lineage.items()))),
+            ("structure", plan.signature()),
+            (
+                "knobs",
+                phase,
+                self.seed,
+                self.optimize_configurations,
+                rrs_search_key(self.rrs),
+                tuple(transformation_key(t) for t in transformations),
+                (MAX_SUBPLANS_PER_UNIT, MAX_ENUMERATION_DEPTH, MAX_COMPOSED_COMBINATIONS),
+                # Read through the module so a version bump (or a test
+                # monkeypatching it) invalidates in-memory keys too.
+                whatif_model.COST_MODEL_VERSION,
+                self._cluster_key,
+            ),
+        )
+
+    def _replay_decision(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        decision: UnitDecision,
+        transformations: Sequence[Transformation],
+        phase: str,
+    ) -> Tuple[Plan, List[UnitReport]]:
+        """Reproduce a recorded decision without searching.
+
+        Each sub-unit's stored chain is replayed through the same
+        :meth:`_apply_candidate` the composed search path uses, so the
+        resulting plan — structure, configurations, recorded application
+        history — is bit-identical to the one the original search returned.
+        The reports carry one synthetic :class:`SubplanRecord` (the chosen
+        one) each; counters that measure search work stay zero, because no
+        search work happened.
+        """
+        current = plan
+        reports: List[UnitReport] = []
+        for subunit, choice in zip(subunits, decision.choices):
+            report = UnitReport(unit=subunit, phase=phase, plan_before=current)
+            record = SubplanRecord(
+                plan=current,
+                transformations=choice.transformations,
+                applications=choice.applications,
+                estimated_cost=choice.estimated_cost,
+                best_settings=choice.settings_dict(),
+            )
+            current = self._apply_candidate(current, record, transformations)
+            report.subplans = [record]
+            report.chosen_index = 0
+            report.plan_after = current.copy()
+            reports.append(report)
+        return current, reports
+
+    @staticmethod
+    def _record_decision(reports: Sequence[UnitReport]) -> UnitDecision:
+        """The searched outcome as a storable decision: one choice per report.
+
+        Both choice paths emit exactly one report per sub-unit, in sub-unit
+        order; a report that retained nothing stores the no-op choice.
+        """
+        choices = []
+        for report in reports:
+            chosen = report.chosen
+            if chosen is None:
+                choices.append(SubunitChoice.no_op())
+            else:
+                choices.append(SubunitChoice.from_record(chosen))
+        return UnitDecision(choices=tuple(choices))
+
+    def _verify_replay(
+        self,
+        plan: Plan,
+        subunits: Sequence[OptimizationUnit],
+        transformations: Sequence[Transformation],
+        phase: str,
+        replayed: Plan,
+    ) -> None:
+        """Debug mode: re-run the full search and assert replay identity.
+
+        The extra search pollutes wall-clock and cost counters (that is the
+        point of a debug mode); decisions must not diverge, or the key is
+        missing an input — a bug worth crashing on.
+        """
+        searched, _reports = self._search_units(plan, subunits, transformations, phase)
+        if self._plan_decision_fingerprint(searched) != self._plan_decision_fingerprint(replayed):
+            raise RuntimeError(
+                "decision cache replay diverged from a fresh search for unit "
+                f"{[s.producers for s in subunits]!r} in phase {phase!r}; "
+                "the decision key is missing an input that affects the argmin"
+            )
+
+    @staticmethod
+    def _plan_decision_fingerprint(plan: Plan) -> Tuple:
+        """Structure plus per-job configurations (signature excludes configs)."""
+        return (
+            plan.signature(),
+            tuple(
+                sorted(
+                    (vertex.name, tuple(sorted(vertex.job.config.as_dict().items())))
+                    for vertex in plan.workflow.jobs
+                )
+            ),
+        )
 
     def _choose_single(
         self,
@@ -311,19 +539,49 @@ class StubbySearch:
         expensive per-candidate RRS tuning already ran, fanned out, above.
         Ties prefer the lexicographically smallest index vector, keeping
         the choice backend-independent.
+
+        Content-identical compositions are costed once: different index
+        vectors can denote the same composed plan (two candidates of one
+        sub-unit may share a structural signature and chosen settings), so
+        each combination's *content key* — the per-candidate
+        ``(plan.signature(), settings)`` pairs — memoizes its cost within
+        the unit.  Duplicates reuse the memoized cost and, comparing with
+        strict ``<``, can never displace the (earlier, lexicographically
+        smaller) first occurrence — the argmin is unchanged.
         """
         combos = self._candidate_combinations(per_subunit)
+        candidate_keys = [
+            [
+                (
+                    record.plan.signature(),
+                    tuple(
+                        (job, tuple(sorted(settings.items())))
+                        for job, settings in sorted(record.best_settings.items())
+                    ),
+                )
+                for record in candidates
+            ]
+            for candidates in per_subunit
+        ]
         composition_stats = CostServiceStats()
         best_combo = combos[0]
         best_cost = float("inf")
+        combo_costs: Dict[Tuple, float] = {}
         with self.costs.attribute_to(composition_stats):
             for combo in combos:
-                composed = plan
-                for subunit_index, candidate_index in enumerate(combo):
-                    composed = self._apply_candidate(
-                        composed, per_subunit[subunit_index][candidate_index], transformations
-                    )
-                cost = self.costs.estimate_workflow(composed.workflow).total_s
+                content = tuple(
+                    candidate_keys[subunit_index][candidate_index]
+                    for subunit_index, candidate_index in enumerate(combo)
+                )
+                cost = combo_costs.get(content)
+                if cost is None:
+                    composed = plan
+                    for subunit_index, candidate_index in enumerate(combo):
+                        composed = self._apply_candidate(
+                            composed, per_subunit[subunit_index][candidate_index], transformations
+                        )
+                    cost = self.costs.estimate_workflow(composed.workflow).total_s
+                    combo_costs[content] = cost
                 if cost < best_cost:
                     best_cost = cost
                     best_combo = combo
@@ -340,6 +598,7 @@ class StubbySearch:
             report.plan_after = current.copy()
             reports.append(report)
         reports[0].composition_queries = composition_stats.queries
+        reports[0].composition_combinations = len(combos)
         return current, reports
 
     @staticmethod

@@ -47,6 +47,11 @@ from repro.baselines import (
 from repro.cluster import ClusterSpec
 from repro.common.records import records_equal
 from repro.core.costing import StatsWindow
+from repro.core.decision_cache import (
+    DecisionCache,
+    DecisionCacheStats,
+    resolve_decision_cache_path,
+)
 from repro.core.optimizer import OptimizationResult, StubbyOptimizer
 from repro.core.search import StubbySearch, UnitReport
 from repro.core.transformations import (
@@ -92,6 +97,15 @@ class OptimizerRun:
     #: through a per-cell attribution sink, not a global window).  ``None``
     #: outside the orchestrated :meth:`ExperimentHarness.run` path.
     cost_stats: Optional[CostServiceStats] = None
+    #: Decision-cache activity of this run: optimization units whose whole
+    #: search was skipped (hit), searched-and-recorded (miss), and hits
+    #: served by a decision another origin recorded.  Exact per cell —
+    #: summed from the run's own :class:`UnitReport` counters, which cross
+    #: process pipes as plain data.  Deliberately *not* part of
+    #: :meth:`decision_fingerprint`: warmth changes hit counts, never plans.
+    unit_decision_hits: int = 0
+    unit_decision_misses: int = 0
+    cross_origin_decision_hits: int = 0
 
     def speedup_over(self, baseline: "OptimizerRun") -> float:
         """Speedup of this run's actual runtime over the baseline's."""
@@ -170,6 +184,10 @@ class ExperimentRunResult:
     cache_entries_at_start: int = 0
     #: The persisted-cache path in effect, or ``None``.
     cache_path: Optional[str] = None
+    #: Decision-cache counter delta over the whole run (all cells combined).
+    decision_stats: DecisionCacheStats = field(default_factory=DecisionCacheStats)
+    #: The persisted decision-cache path in effect, or ``None``.
+    decision_cache_path: Optional[str] = None
 
     @property
     def wall_s(self) -> float:
@@ -181,6 +199,24 @@ class ExperimentRunResult:
         """Cache hits reaped across cell boundaries, summed over all cells."""
         return sum(
             run.cross_unit_hits
+            for comparison in self.comparisons.values()
+            for run in comparison.runs.values()
+        )
+
+    @property
+    def unit_decision_hits(self) -> int:
+        """Unit searches skipped via memoized decisions, summed over all cells."""
+        return sum(
+            run.unit_decision_hits
+            for comparison in self.comparisons.values()
+            for run in comparison.runs.values()
+        )
+
+    @property
+    def cross_origin_decision_hits(self) -> int:
+        """Decision hits served across cell (or run) boundaries, all cells."""
+        return sum(
+            run.cross_origin_decision_hits
             for comparison in self.comparisons.values()
             for run in comparison.runs.values()
         )
@@ -229,6 +265,7 @@ class ExperimentHarness:
         search_backend=None,
         experiment_backend=None,
         cache_path: Optional[str] = None,
+        decision_cache_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.paper_cluster()
         self.scale = scale
@@ -246,10 +283,19 @@ class ExperimentHarness:
         #: STUBBY_COST_CACHE environment variable, else no persistence).
         #: The cost service warm-starts from it now; :meth:`run` saves back.
         self.cache_path = resolve_cache_path(cache_path)
+        #: Persisted decision-cache path (explicit argument, else the
+        #: STUBBY_DECISION_CACHE environment variable, else no persistence) —
+        #: deliberately separate from ``cache_path`` so estimate warm starts
+        #: and decision warm starts are opted into independently.
+        self.decision_cache_path = resolve_decision_cache_path(decision_cache_path)
         self.executor = WorkflowExecutor()
         self.actual_model = ActualCostModel(self.cluster)
         self.costs = CostService(self.cluster, cache_path=self.cache_path)
         self.whatif = self.costs.engine
+        #: One decision memo shared by every optimizer the harness builds —
+        #: a unit solved by one cell is replayed, not re-searched, by every
+        #: later cell that meets the same content (cross-origin attributed).
+        self.decisions = DecisionCache(self.cluster, cache_path=self.decision_cache_path)
 
     # ----------------------------------------------------------- optimizers
     def make_optimizer(self, name: str, seed: Optional[int] = None):
@@ -265,26 +311,27 @@ class ExperimentHarness:
         seed through here.  Rule-based optimizers ignore it.
         """
         seeded = {} if seed is None else {"seed": seed}
+        shared = {"cost_service": self.costs, "decision_cache": self.decisions}
         if name == "Baseline":
-            return PigBaselineOptimizer(self.cluster, cost_service=self.costs)
+            return PigBaselineOptimizer(self.cluster, **shared)
         if name == "Stubby":
             return StubbyOptimizer(
-                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
+                self.cluster, backend=self.search_backend, **shared, **seeded
             )
         if name == "Vertical":
             return StubbyOptimizer.vertical_only(
-                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
+                self.cluster, backend=self.search_backend, **shared, **seeded
             )
         if name == "Horizontal":
             return StubbyOptimizer.horizontal_only(
-                self.cluster, cost_service=self.costs, backend=self.search_backend, **seeded
+                self.cluster, backend=self.search_backend, **shared, **seeded
             )
         if name == "Starfish":
-            return StarfishOptimizer(self.cluster, cost_service=self.costs, **seeded)
+            return StarfishOptimizer(self.cluster, **shared, **seeded)
         if name == "YSmart":
-            return YSmartOptimizer(self.cluster, cost_service=self.costs)
+            return YSmartOptimizer(self.cluster, **shared)
         if name == "MRShare":
-            return MRShareOptimizer(self.cluster, cost_service=self.costs)
+            return MRShareOptimizer(self.cluster, **shared)
         raise KeyError(f"unknown optimizer {name!r}")
 
     # ------------------------------------------------------------- workload
@@ -317,6 +364,7 @@ class ExperimentHarness:
             # and what-if counters are standalone (order-independent) —
             # Figure 13 must not depend on which optimizer ran first.
             self.costs.invalidate()
+            self.decisions.invalidate()
             result = optimizer.optimize(workload.plan)
             comparison.runs[optimizer_name] = self._evaluate(result, workload, reference_outputs)
         return comparison
@@ -371,10 +419,12 @@ class ExperimentHarness:
             workload, reference_outputs = prepared[cell.workload]
             return self._run_cell(cell, workload, reference_outputs, run_token)
 
+        decisions_before = self.decisions.stats_snapshot()
         with StatsWindow(self.costs) as window:
             cells_started = time.perf_counter()
-            runs = scheduler.map_cells(cells, run_cell, self.costs)
+            runs = scheduler.map_cells(cells, run_cell, self.costs, self.decisions)
             cells_s = time.perf_counter() - cells_started
+        decision_stats = self.decisions.stats_snapshot().since(decisions_before)
 
         comparisons: Dict[str, WorkloadComparison] = {}
         for cell, run in zip(cells, runs):
@@ -391,6 +441,8 @@ class ExperimentHarness:
 
         if persist and self.cache_path:
             self.costs.save_cache()
+        if persist and self.decision_cache_path:
+            self.decisions.save_cache()
 
         return ExperimentRunResult(
             comparisons=comparisons,
@@ -406,6 +458,8 @@ class ExperimentHarness:
             ),
             cache_entries_at_start=cache_entries_at_start,
             cache_path=self.cache_path,
+            decision_stats=decision_stats,
+            decision_cache_path=self.decision_cache_path,
         )
 
     def _run_cell(
@@ -487,6 +541,9 @@ class ExperimentHarness:
             whatif_queries=stats.queries if stats is not None else 0,
             jobs_recosted=stats.jobs_recosted if stats is not None else 0,
             cache_hit_rate=stats.cache_hit_rate if stats is not None else 0.0,
+            unit_decision_hits=result.unit_decision_hits,
+            unit_decision_misses=result.unit_decision_misses,
+            cross_origin_decision_hits=result.cross_origin_decision_hits,
         )
 
     # ---------------------------------------------------------- deep dives

@@ -43,7 +43,8 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.common.hashing import stable_hash
 from repro.core.costing import cost_service_side_channel
-from repro.core.parallel import ExecutionBackend, create_backend
+from repro.core.decision_cache import DecisionCache, decision_cache_side_channel
+from repro.core.parallel import ExecutionBackend, create_backend, merge_side_channels
 from repro.whatif.service import CostService
 
 __all__ = [
@@ -139,6 +140,7 @@ class ExperimentScheduler:
         cells: Sequence[ExperimentCell],
         run_cell: Callable[[ExperimentCell], object],
         cost_service: Optional[CostService] = None,
+        decision_cache: Optional[DecisionCache] = None,
     ) -> List[object]:
         """Run every cell and return its results in cell order.
 
@@ -147,9 +149,20 @@ class ExperimentScheduler:
         by fork, exactly like the unit search inherits candidate plans);
         responses must be plain picklable data.  When ``cost_service`` is
         given, its side channel rides along so worker stats and cache shards
-        merge back into the shared service.
+        merge back into the shared service; a ``decision_cache`` composes
+        its own channel in the same way (forked cells export newly recorded
+        decisions for merge-on-join, so one cell's solved units replay in
+        every later run).
         """
-        side = cost_service_side_channel(cost_service) if cost_service is not None else None
+        channels = [
+            cost_service_side_channel(cost_service) if cost_service is not None else None,
+            (
+                decision_cache_side_channel(decision_cache)
+                if decision_cache is not None and decision_cache.enabled
+                else None
+            ),
+        ]
+        side = merge_side_channels(*channels)
         indexed = list(cells)
 
         def worker(index: int):

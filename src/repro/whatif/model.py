@@ -323,6 +323,18 @@ class WhatIfEngine:
             (local.chained_input, chained_map_tasks),
         )
 
+    def vertex_content_key(self, vertex: JobVertex) -> _VertexLocalKey:
+        """Public content key of one job vertex's local half of the signature.
+
+        Hashable, picklable, and content-equal across plan copies: pipelines
+        (operators, inputs, outputs), partitioner fields, combiner activity,
+        profile content, and the chaining flag.  Served by the incremental
+        memo (:meth:`_vertex_local_key`), so deriving it for every vertex of
+        a mostly-shared CoW plan is O(dirty vertices) — the decision cache
+        (:mod:`repro.core.decision_cache`) builds unit signatures from it.
+        """
+        return self._vertex_local_key(vertex)
+
     def _vertex_local_key(self, vertex: JobVertex) -> _VertexLocalKey:
         """The vertex-content half of the signature, memoized by identity.
 

@@ -154,6 +154,29 @@ class CacheLoadReport:
     reason: str = ""
 
 
+def atomic_pickle_write(path: str, payload) -> None:
+    """Pickle ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Shared by the cost-cache and decision-cache persistence paths: concurrent
+    writers race to a *complete* file, never a torn one.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 class _RestrictedUnpickler(pickle.Unpickler):
     """Unpickler that only resolves this package's classes and safe builtins.
 
@@ -629,21 +652,7 @@ class CostService:
             "cluster_key": cluster_cache_key(self.cluster),
             "entries": entries,
         }
-        directory = os.path.dirname(os.path.abspath(path)) or "."
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        atomic_pickle_write(path, payload)
         return len(entries)
 
     def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:

@@ -40,11 +40,11 @@ def harness(cluster):
     instance = ExperimentHarness(cluster=cluster, scale=BENCHMARK_SCALE)
     yield instance
     if instance.cache_path:
-        # Re-absorb whatever the file holds before saving, so a session that
-        # ends with a sparse (post-invalidate) in-memory store never shrinks
-        # a richer persisted one — merging is idempotent and exact.
-        instance.costs.load_cache()
-        instance.persist_cache()
+        # merge_first re-absorbs whatever the file holds before saving, so a
+        # session that ends with a sparse (post-invalidate) in-memory store
+        # never shrinks a richer persisted one — merging is idempotent and
+        # exact.
+        instance.costs.save_cache(merge_first=True)
 
 
 def run_once(benchmark, fn):

@@ -393,17 +393,24 @@ class DecisionCache:
             self._cache.store(key, decision, origin)
 
     # ------------------------------------------------------------ persistence
-    def save_cache(self, path: Optional[str] = None) -> int:
+    def save_cache(self, path: Optional[str] = None, merge_first: bool = False) -> int:
         """Persist the decision store to ``path`` (default: ``cache_path``).
 
         The payload is stamped with the on-disk format version, the cost
         model version, and the cluster key — a decision is only valid for
         the exact cost model and cluster it was searched under.  The write
         is atomic (temp file + ``os.replace``).  Returns the entry count.
+
+        ``merge_first=True`` re-absorbs the current file (if valid) before
+        writing — the long-lived-service idiom: a replica that restarted
+        cold never shrinks a richer store persisted by another.  Decisions
+        are content-keyed and deterministic, so the merge is conflict-free.
         """
         path = path or self.cache_path
         if not path:
             raise ValueError("no decision cache path configured (pass path= or set cache_path)")
+        if merge_first:
+            self.load_cache(path)
         entries = [
             (key, decision, origin)
             for rows in self._cache.shard_items()

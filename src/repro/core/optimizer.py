@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.core.costing import CostService, CostServiceStats, StatsWindow, ensure_cost_service
 from repro.core.decision_cache import DecisionCache, ensure_decision_cache
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
-from repro.core.search import StubbySearch, UnitReport
+from repro.core.search import StubbySearch, UnitReport, plan_decision_fingerprint
 from repro.core.transformations import (
     HorizontalPacking,
     InterJobVerticalPacking,
@@ -51,6 +51,20 @@ class OptimizationResult:
     def num_jobs(self) -> int:
         """Number of jobs in the optimized plan."""
         return self.plan.num_jobs
+
+    def plan_signature(self) -> Tuple:
+        """Structural signature of the optimized plan."""
+        return self.plan.signature()
+
+    def decision_fingerprint(self) -> Tuple:
+        """Canonical decision identity (structure + per-job configurations).
+
+        Two results with equal fingerprints represent byte-identical
+        optimizer decisions; this is the value the planning service's
+        bit-identity contract (and the experiment orchestration tests)
+        compare against a cold serial run.
+        """
+        return plan_decision_fingerprint(self.plan)
 
     @property
     def whatif_queries(self) -> int:

@@ -32,21 +32,38 @@ Backends are selected by spec strings — ``"serial"``, ``"thread:4"``,
 ``"process:4"`` — resolved by :func:`create_backend`; components that accept
 a ``backend=`` argument also honour the ``STUBBY_SEARCH_BACKEND``
 environment variable when none is given.
+
+Sessions support two **dispatch** modes.  ``"static"`` (the default) deals
+requests round-robin up front — cheap, and optimal when requests cost about
+the same.  ``"stealing"`` lets idle workers pull the next request from a
+shared deque (threads) or receive requests one at a time as they finish
+(processes), which balances *heterogeneous* request costs: a worker stuck on
+an expensive request no longer strands the cheap ones behind it.  Dispatch
+never changes results — only which worker computes them — and every session
+reports what it did in :attr:`BackendSession.dispatch_stats`.  In stealing
+mode the fork pool additionally survives worker deaths: an in-flight request
+whose worker vanished is retried once on a surviving worker, and only a
+repeat failure (or a pool with no survivors) raises.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import traceback
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from multiprocessing import connection as _mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "BackendSession",
     "DEFAULT_WORKERS",
+    "DISPATCH_KINDS",
+    "DispatchStats",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
@@ -63,6 +80,112 @@ DEFAULT_WORKERS = 4
 
 #: Environment variable consulted when no backend is passed explicitly.
 BACKEND_ENV_VAR = "STUBBY_SEARCH_BACKEND"
+
+#: The dispatch modes every session understands.
+DISPATCH_KINDS = ("static", "stealing")
+
+#: How many times one request may be *executed* before a worker death makes
+#: it fail for good (stealing mode): the first attempt plus one retry.
+MAX_TASK_ATTEMPTS = 2
+
+
+def _validate_dispatch(dispatch: str) -> str:
+    if dispatch not in DISPATCH_KINDS:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_KINDS}"
+        )
+    return dispatch
+
+
+def _request_loads(requests: Sequence[Any], costs: Optional[Sequence[float]]) -> List[float]:
+    """Per-request cost weights (default 1.0 each) for load accounting."""
+    if costs is None:
+        return [1.0] * len(requests)
+    if len(costs) != len(requests):
+        raise ValueError(
+            f"costs length {len(costs)} does not match {len(requests)} requests"
+        )
+    return [float(cost) for cost in costs]
+
+
+@dataclass
+class DispatchStats:
+    """How one session distributed its requests across workers.
+
+    ``load_per_worker`` sums the caller-declared request costs (``costs=``
+    of :meth:`BackendSession.run`, 1.0 per request by default) each worker
+    executed; :attr:`idle_cost_units` condenses the imbalance into a single
+    counter — the cost units workers collectively sit idle while the most
+    loaded worker drains its share.  A ``steal`` is any request that ran on
+    a different worker than static round-robin would have assigned; in
+    stealing mode the counters additionally record worker deaths and the
+    requests retried across them.
+    """
+
+    dispatch: str = "static"
+    workers: int = 1
+    runs: int = 0
+    tasks: int = 0
+    steals: int = 0
+    worker_deaths: int = 0
+    retried_tasks: int = 0
+    tasks_per_worker: List[int] = field(default_factory=list)
+    load_per_worker: List[float] = field(default_factory=list)
+
+    def record(self, worker: int, load: float = 1.0, stolen: bool = False) -> None:
+        """Account one executed request to ``worker``."""
+        while len(self.tasks_per_worker) <= worker:
+            self.tasks_per_worker.append(0)
+            self.load_per_worker.append(0.0)
+        self.tasks += 1
+        self.tasks_per_worker[worker] += 1
+        self.load_per_worker[worker] += load
+        if stolen:
+            self.steals += 1
+
+    @property
+    def idle_cost_units(self) -> float:
+        """Total cost units of worker idleness implied by the load split.
+
+        With per-worker loads ``L`` over ``w`` workers this is
+        ``w * max(L) - sum(L)``: while the busiest worker finishes, every
+        other worker is idle for the difference.  Perfect balance gives 0.
+        """
+        if not self.load_per_worker:
+            return 0.0
+        width = max(len(self.load_per_worker), self.workers)
+        loads = list(self.load_per_worker) + [0.0] * (width - len(self.load_per_worker))
+        return max(loads) * width - sum(loads)
+
+    def accumulate(self, other: "DispatchStats") -> None:
+        """Fold another session's counters into this one (for pool recycling)."""
+        self.runs += other.runs
+        self.tasks += other.tasks
+        self.steals += other.steals
+        self.worker_deaths += other.worker_deaths
+        self.retried_tasks += other.retried_tasks
+        self.workers = max(self.workers, other.workers)
+        while len(self.tasks_per_worker) < len(other.tasks_per_worker):
+            self.tasks_per_worker.append(0)
+            self.load_per_worker.append(0.0)
+        for worker, count in enumerate(other.tasks_per_worker):
+            self.tasks_per_worker[worker] += count
+        for worker, load in enumerate(other.load_per_worker):
+            self.load_per_worker[worker] += load
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "dispatch": self.dispatch,
+            "workers": self.workers,
+            "runs": self.runs,
+            "tasks": self.tasks,
+            "steals": self.steals,
+            "worker_deaths": self.worker_deaths,
+            "retried_tasks": self.retried_tasks,
+            "tasks_per_worker": list(self.tasks_per_worker),
+            "load_per_worker": list(self.load_per_worker),
+            "idle_cost_units": self.idle_cost_units,
+        }
 
 
 @dataclass
@@ -174,10 +297,19 @@ class BackendSession(ABC):
     (candidate costings, RRS sample generations), and closes it, at which
     point worker state is merged back.  ``run`` preserves request order in
     its response list regardless of how requests were distributed.
+
+    Every session exposes :attr:`dispatch_stats`, a :class:`DispatchStats`
+    accumulated across all of its ``run`` calls.  ``run`` optionally takes
+    ``costs=`` — caller-declared per-request cost weights used for load
+    accounting and (in stealing mode) nothing else: dispatch order stays
+    FIFO, so costs influence the *report*, not the results.
     """
 
+    #: Accumulated dispatch accounting; concrete sessions replace this.
+    dispatch_stats: DispatchStats = DispatchStats()
+
     @abstractmethod
-    def run(self, requests: Sequence[Any]) -> List[Any]:
+    def run(self, requests: Sequence[Any], costs: Optional[Sequence[float]] = None) -> List[Any]:
         """Execute every request and return responses in request order."""
 
     def close(self) -> None:
@@ -209,6 +341,7 @@ class ExecutionBackend(ABC):
         self,
         worker_fn: Callable[[Any], Any],
         side_channel: Optional[SideChannel] = None,
+        dispatch: str = "static",
     ) -> BackendSession:
         """Open a fan-out session executing ``worker_fn`` per request."""
 
@@ -229,9 +362,16 @@ class ExecutionBackend(ABC):
 class _SerialSession(BackendSession):
     def __init__(self, worker_fn: Callable[[Any], Any]) -> None:
         self._worker_fn = worker_fn
+        self.dispatch_stats = DispatchStats(dispatch="static", workers=1)
 
-    def run(self, requests: Sequence[Any]) -> List[Any]:
-        return [self._worker_fn(request) for request in requests]
+    def run(self, requests: Sequence[Any], costs: Optional[Sequence[float]] = None) -> List[Any]:
+        loads = _request_loads(requests, costs)
+        self.dispatch_stats.runs += 1
+        responses: List[Any] = []
+        for position, request in enumerate(requests):
+            responses.append(self._worker_fn(request))
+            self.dispatch_stats.record(0, loads[position])
+        return responses
 
 
 class SerialBackend(ExecutionBackend):
@@ -243,9 +383,11 @@ class SerialBackend(ExecutionBackend):
     def __init__(self, workers: int = 1) -> None:
         super().__init__(workers=1)
 
-    def session(self, worker_fn, side_channel=None) -> BackendSession:
+    def session(self, worker_fn, side_channel=None, dispatch: str = "static") -> BackendSession:
         # Inline execution hits the parent's service directly; no side
         # channel traffic is needed (or possible — there is no "elsewhere").
+        # With a single inline worker the dispatch modes coincide.
+        _validate_dispatch(dispatch)
         return _SerialSession(worker_fn)
 
 
@@ -260,21 +402,34 @@ class _ThreadSession(BackendSession):
         worker_fn: Callable[[Any], Any],
         workers: int,
         side_channel: Optional[SideChannel],
+        dispatch: str = "static",
     ) -> None:
         self._worker_fn = worker_fn
         self._side = side_channel
         self._max_workers = workers
+        self._dispatch = _validate_dispatch(dispatch)
+        self.dispatch_stats = DispatchStats(dispatch=dispatch, workers=workers)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="stubby-search"
         )
 
-    def run(self, requests: Sequence[Any]) -> List[Any]:
+    def run(self, requests: Sequence[Any], costs: Optional[Sequence[float]] = None) -> List[Any]:
+        loads = _request_loads(requests, costs)
+        self.dispatch_stats.runs += 1
         if len(requests) <= 1:
-            return [self._worker_fn(request) for request in requests]
+            responses = [self._worker_fn(request) for request in requests]
+            for position in range(len(requests)):
+                self.dispatch_stats.record(0, loads[position])
+            return responses
+        if self._dispatch == "stealing":
+            return self._run_stealing(requests, loads)
+        return self._run_static(requests, loads)
 
+    def _run_static(self, requests: Sequence[Any], loads: List[float]) -> List[Any]:
         side = self._side
 
-        def run_chunk(chunk: List[Tuple[int, Any]]):
+        def run_chunk(slot_chunk: Tuple[int, List[Tuple[int, Any]]]):
+            slot, chunk = slot_chunk
             token = side.chunk_begin() if side and side.chunk_begin else None
             try:
                 results = [(index, self._worker_fn(request)) for index, request in chunk]
@@ -283,17 +438,58 @@ class _ThreadSession(BackendSession):
                 # caller that catches the error and reuses the session does
                 # not get later chunks double-attributed.
                 payload = side.chunk_end(token) if side and side.chunk_end else None
-            return results, payload
+            return slot, results, payload
 
         chunks = _round_robin(list(enumerate(requests)), self._max_workers)
         responses: List[Any] = [None] * len(requests)
-        for results, payload in self._pool.map(run_chunk, chunks):
+        for slot, results, payload in self._pool.map(run_chunk, list(enumerate(chunks))):
             for index, response in results:
                 responses[index] = response
+                self.dispatch_stats.record(slot, loads[index])
             if payload is not None and side and side.chunk_absorb_shared:
                 # Worker threads updated the shared counters live; the
                 # payload only re-attributes the delta to the *calling*
                 # thread's attribution sinks (per-candidate stats).
+                side.chunk_absorb_shared(payload)
+        return responses
+
+    def _run_stealing(self, requests: Sequence[Any], loads: List[float]) -> List[Any]:
+        """Pull-model dispatch: idle workers pop the next request themselves.
+
+        All workers drain one shared FIFO deque; a request executes on
+        whichever worker got free first, so an expensive request occupies
+        exactly one worker while the others keep draining cheap ones.
+        Results land by index, preserving request order — and since tasks
+        are independent by the backend contract, *which* worker runs a
+        request cannot change its response.
+        """
+        side = self._side
+        workers = self._max_workers
+        pending: deque = deque(enumerate(requests))
+        lock = threading.Lock()
+        responses: List[Any] = [None] * len(requests)
+
+        def worker_loop(slot: int):
+            taken: List[Tuple[int, bool]] = []
+            token = side.chunk_begin() if side and side.chunk_begin else None
+            try:
+                while True:
+                    with lock:
+                        if not pending:
+                            break
+                        index, request = pending.popleft()
+                    responses[index] = self._worker_fn(request)
+                    # "Stolen" = ran somewhere other than its static
+                    # round-robin slot (the imbalance the mode exists for).
+                    taken.append((index, index % workers != slot))
+            finally:
+                payload = side.chunk_end(token) if side and side.chunk_end else None
+            return slot, taken, payload
+
+        for slot, taken, payload in self._pool.map(worker_loop, range(workers)):
+            for index, stolen in taken:
+                self.dispatch_stats.record(slot, loads[index], stolen=stolen)
+            if payload is not None and side and side.chunk_absorb_shared:
                 side.chunk_absorb_shared(payload)
         return responses
 
@@ -310,8 +506,8 @@ class ThreadBackend(ExecutionBackend):
     def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
         super().__init__(workers=workers)
 
-    def session(self, worker_fn, side_channel=None) -> BackendSession:
-        return _ThreadSession(worker_fn, self.workers, side_channel)
+    def session(self, worker_fn, side_channel=None, dispatch: str = "static") -> BackendSession:
+        return _ThreadSession(worker_fn, self.workers, side_channel, dispatch=dispatch)
 
 
 # ---------------------------------------------------------------------------
@@ -369,13 +565,37 @@ class _ForkSession(BackendSession):
         worker_fn: Callable[[Any], Any],
         workers: int,
         side_channel: Optional[SideChannel],
+        dispatch: str = "static",
     ) -> None:
         self._worker_fn = worker_fn
         self._requested_workers = workers
         self._side = side_channel
+        self._dispatch = _validate_dispatch(dispatch)
+        self.dispatch_stats = DispatchStats(dispatch=dispatch, workers=workers)
         self._ctx = multiprocessing.get_context("fork")
         self._workers: List[Tuple[Any, Any]] = []  # (connection, process)
+        self._dead: Set[int] = set()  # slots whose worker died or errored
         self._closed = False
+
+    @property
+    def forked(self) -> bool:
+        """True once the lazy fork has happened (workers exist)."""
+        return bool(self._workers)
+
+    @property
+    def live_workers(self) -> int:
+        """Workers currently able to take requests."""
+        if not self._workers:
+            return self._requested_workers
+        return len(self._workers) - len(self._dead)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (empty before the lazy fork)."""
+        return [
+            process.pid
+            for slot, (_conn, process) in enumerate(self._workers)
+            if slot not in self._dead
+        ]
 
     # Workers are forked lazily, on the first run() call, so the session
     # captures the freshest possible parent state (e.g. cache entries from
@@ -394,46 +614,84 @@ class _ForkSession(BackendSession):
             child_conn.close()
             self._workers.append((parent_conn, process))
 
-    def run(self, requests: Sequence[Any]) -> List[Any]:
+    def run(self, requests: Sequence[Any], costs: Optional[Sequence[float]] = None) -> List[Any]:
         if self._closed:
             raise RuntimeError("session is closed")
+        loads = _request_loads(requests, costs)
+        self.dispatch_stats.runs += 1
         if len(requests) <= 1:
             # Not worth a pipe round-trip; inline execution is identical by
             # the determinism contract.
-            return [self._worker_fn(request) for request in requests]
+            responses = [self._worker_fn(request) for request in requests]
+            for position in range(len(requests)):
+                self.dispatch_stats.record(0, loads[position])
+            return responses
         self._ensure_workers()
+        if not self._alive_slots():
+            raise RuntimeError("parallel worker pool has no live workers left")
+        if self._dispatch == "stealing":
+            return self._run_stealing(requests, loads)
+        return self._run_static(requests, loads)
 
+    def _alive_slots(self) -> List[int]:
+        return [slot for slot in range(len(self._workers)) if slot not in self._dead]
+
+    def _mark_dead(self, slot: int) -> Any:
+        """Reap a dead worker's process; returns it for error reporting."""
+        _conn, process = self._workers[slot]
+        process.join(timeout=5)
+        self._dead.add(slot)
+        self.dispatch_stats.worker_deaths += 1
+        return process
+
+    def _run_static(self, requests: Sequence[Any], loads: List[float]) -> List[Any]:
         indexed = list(enumerate(requests))
-        chunks = _round_robin(indexed, len(self._workers))
-        active: List[Tuple[Any, Any]] = []
-        for (conn, process), chunk in zip(self._workers, chunks):
+        alive = self._alive_slots()
+        chunks = _round_robin(indexed, len(alive))
+        active: List[Tuple[int, Any, Any]] = []
+        errors: List[str] = []
+        for slot, chunk in zip(alive, chunks):
             if not chunk:
                 continue
-            conn.send(("run", chunk))
-            active.append((conn, process))
+            conn, process = self._workers[slot]
+            try:
+                conn.send(("run", chunk))
+            except (BrokenPipeError, ConnectionError, OSError):
+                # Died while idle (killed between runs): same handling as a
+                # death mid-request, just detected at dispatch time.
+                process = self._mark_dead(slot)
+                errors.append(
+                    f"worker pid {process.pid} died before dispatch "
+                    f"(exit code {process.exitcode})"
+                )
+                continue
+            active.append((slot, conn, process))
 
         side = self._side
         responses: List[Any] = [None] * len(requests)
-        errors: List[str] = []
-        for conn, process in active:
+        for slot, conn, process in active:
             try:
                 message = conn.recv()
             except (EOFError, ConnectionError, OSError):
                 # The worker died without replying (OOM kill, segfault,
                 # external signal) — reap it so the exit code is readable
-                # and fail the run with an attributable error.
-                process.join(timeout=5)
+                # and fail the run with an attributable error.  Static mode
+                # does not retry; use dispatch="stealing" for that.
+                process = self._mark_dead(slot)
                 errors.append(
                     f"worker pid {process.pid} died without replying "
                     f"(exit code {process.exitcode})"
                 )
                 continue
             if message[0] == "error":
+                # The worker loop exits after reporting a worker_fn failure.
+                self._dead.add(slot)
                 errors.append(message[1])
                 continue
             _, results, payload = message
             for index, response in results:
                 responses[index] = response
+                self.dispatch_stats.record(slot, loads[index])
             if payload is not None and side and side.chunk_absorb_foreign:
                 # The parent's counters never saw the child's queries: fold
                 # the whole delta in (global stats + attribution sinks).
@@ -445,19 +703,114 @@ class _ForkSession(BackendSession):
             )
         return responses
 
+    def _run_stealing(self, requests: Sequence[Any], loads: List[float]) -> List[Any]:
+        """Parent-driven stealing: idle workers get requests one at a time.
+
+        The parent keeps every worker busy with exactly one single-request
+        chunk and hands out the next request the moment a response arrives
+        (``multiprocessing.connection.wait``).  One request = one chunk =
+        one side-channel payload, so a death loses precisely the in-flight
+        request's delta together with its response — the absorbed stats can
+        never double-count or miss a merge.  The orphaned request is retried
+        on a surviving worker (up to :data:`MAX_TASK_ATTEMPTS` executions);
+        the run only fails if a request exhausts its attempts, every worker
+        dies, or a request raises inside ``worker_fn``.
+        """
+        side = self._side
+        stats = self.dispatch_stats
+        total_workers = len(self._workers)
+        pending: deque = deque(enumerate(requests))
+        attempts: Dict[int, int] = {}
+        responses: List[Any] = [None] * len(requests)
+        in_flight: Dict[Any, Tuple[int, int]] = {}  # conn -> (request index, slot)
+        errors: List[str] = []
+        aborting = False
+
+        def conn_of(slot: int):
+            return self._workers[slot][0]
+
+        while pending or in_flight:
+            if not aborting:
+                busy = {slot for _index, slot in in_flight.values()}
+                for slot in self._alive_slots():
+                    if not pending:
+                        break
+                    if slot in busy:
+                        continue
+                    index, request = pending.popleft()
+                    try:
+                        conn_of(slot).send(("run", [(index, request)]))
+                    except (BrokenPipeError, ConnectionError, OSError):
+                        # Died while idle: the request never executed, so it
+                        # goes back without consuming one of its attempts.
+                        self._mark_dead(slot)
+                        pending.appendleft((index, request))
+                        continue
+                    # Executions, not deliveries, count against the cap — a
+                    # send that failed above cost the request nothing.
+                    attempts[index] = attempts.get(index, 0) + 1
+                    in_flight[conn_of(slot)] = (index, slot)
+            if not in_flight:
+                if pending and not aborting:
+                    undelivered = sorted(index for index, _request in pending)
+                    errors.append(
+                        f"requests {undelivered} undeliverable: no live workers left"
+                    )
+                pending.clear()
+                break
+            for conn in _mp_connection.wait(list(in_flight)):
+                index, slot = in_flight.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, ConnectionError, OSError):
+                    process = self._mark_dead(slot)
+                    if attempts[index] >= MAX_TASK_ATTEMPTS:
+                        errors.append(
+                            f"request {index} failed {attempts[index]} times across "
+                            f"worker deaths (last pid {process.pid}, "
+                            f"exit code {process.exitcode})"
+                        )
+                        aborting = True
+                    else:
+                        stats.retried_tasks += 1
+                        pending.appendleft((index, requests[index]))
+                    continue
+                if message[0] == "error":
+                    # worker_fn raised — deterministic, so never retried; the
+                    # worker loop exits after reporting.
+                    self._dead.add(slot)
+                    errors.append(message[1])
+                    aborting = True
+                    continue
+                _tag, results, payload = message
+                for result_index, response in results:
+                    responses[result_index] = response
+                stats.record(slot, loads[index], stolen=index % total_workers != slot)
+                if payload is not None and side and side.chunk_absorb_foreign:
+                    side.chunk_absorb_foreign(payload)
+        if errors:
+            self.close()
+            raise RuntimeError(
+                "parallel worker pool failed:\n" + "\n".join(errors)
+            )
+        return responses
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         side = self._side
-        for conn, process in self._workers:
+        for slot, (conn, process) in enumerate(self._workers):
+            if slot in self._dead:
+                conn.close()
+                continue
             try:
                 conn.send(("stop",))
                 message = conn.recv()
                 if message[0] == "final" and message[1] is not None:
                     if side and side.final_absorb:
                         side.final_absorb(message[1])
-            except (EOFError, BrokenPipeError, OSError):
+            except (EOFError, BrokenPipeError, ConnectionError, OSError):
                 pass
             finally:
                 conn.close()
@@ -492,10 +845,11 @@ class ProcessBackend(ExecutionBackend):
             return f"process:{self.workers} (serial fallback: no fork)"
         return f"process:{self.workers}"
 
-    def session(self, worker_fn, side_channel=None) -> BackendSession:
+    def session(self, worker_fn, side_channel=None, dispatch: str = "static") -> BackendSession:
+        _validate_dispatch(dispatch)
         if not self._fork_available:  # pragma: no cover - non-POSIX only
             return _SerialSession(worker_fn)
-        return _ForkSession(worker_fn, self.workers, side_channel)
+        return _ForkSession(worker_fn, self.workers, side_channel, dispatch=dispatch)
 
 
 # ---------------------------------------------------------------------------

@@ -75,6 +75,27 @@ MAX_ENUMERATION_DEPTH = 6
 MAX_COMPOSED_COMBINATIONS = 64
 
 
+def plan_decision_fingerprint(plan: Plan) -> Tuple:
+    """The canonical identity of an optimizer's decision for one plan.
+
+    ``plan.signature()`` captures structure only; the fingerprint adds every
+    job's chosen configuration, so two plans compare equal exactly when the
+    optimizer made byte-identical decisions.  This is the value the
+    determinism contract is stated in — replay verification, the experiment
+    orchestration tests, and the planning service's bit-identity battery all
+    compare it.
+    """
+    return (
+        plan.signature(),
+        tuple(
+            sorted(
+                (vertex.name, tuple(sorted(vertex.job.config.as_dict().items())))
+                for vertex in plan.workflow.jobs
+            )
+        ),
+    )
+
+
 @dataclass
 class SubplanRecord:
     """One candidate subplan enumerated inside an optimization unit."""
@@ -479,15 +500,7 @@ class StubbySearch:
     @staticmethod
     def _plan_decision_fingerprint(plan: Plan) -> Tuple:
         """Structure plus per-job configurations (signature excludes configs)."""
-        return (
-            plan.signature(),
-            tuple(
-                sorted(
-                    (vertex.name, tuple(sorted(vertex.job.config.as_dict().items())))
-                    for vertex in plan.workflow.jobs
-                )
-            ),
-        )
+        return plan_decision_fingerprint(plan)
 
     def _choose_single(
         self,

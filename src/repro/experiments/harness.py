@@ -296,6 +296,8 @@ class ExperimentHarness:
         #: a unit solved by one cell is replayed, not re-searched, by every
         #: later cell that meets the same content (cross-origin attributed).
         self.decisions = DecisionCache(self.cluster, cache_path=self.decision_cache_path)
+        #: Dispatch accounting of the most recent :meth:`run` (None before).
+        self.last_dispatch_stats = None
 
     # ----------------------------------------------------------- optimizers
     def make_optimizer(self, name: str, seed: Optional[int] = None):
@@ -375,6 +377,7 @@ class ExperimentHarness:
         workloads: Optional[Sequence[str]] = None,
         optimizers: Sequence[str] = FIGURE11_OPTIMIZERS,
         backend=None,
+        dispatch: Optional[str] = None,
         persist: bool = True,
     ) -> ExperimentRunResult:
         """Run a whole experiment — every (workload × optimizer) cell — at once.
@@ -397,8 +400,12 @@ class ExperimentHarness:
         """
         abbreviations = tuple(workloads) if workloads is not None else tuple(WORKLOAD_ORDER)
         optimizer_names = tuple(optimizers)
+        # ``dispatch`` picks how cells land on workers ("static" deals them
+        # up front, "stealing" lets idle workers pull the next one — better
+        # for heterogeneous cells); None defers to STUBBY_EXPERIMENT_DISPATCH.
         scheduler = ExperimentScheduler(
-            backend if backend is not None else self.experiment_backend
+            backend if backend is not None else self.experiment_backend,
+            dispatch=dispatch,
         )
 
         # Serial, deterministic preparation: workloads are built, profiled,
@@ -424,6 +431,7 @@ class ExperimentHarness:
             cells_started = time.perf_counter()
             runs = scheduler.map_cells(cells, run_cell, self.costs, self.decisions)
             cells_s = time.perf_counter() - cells_started
+        self.last_dispatch_stats = scheduler.last_dispatch_stats
         decision_stats = self.decisions.stats_snapshot().since(decisions_before)
 
         comparisons: Dict[str, WorkloadComparison] = {}

@@ -44,21 +44,44 @@ from typing import Callable, List, Optional, Sequence
 from repro.common.hashing import stable_hash
 from repro.core.costing import cost_service_side_channel
 from repro.core.decision_cache import DecisionCache, decision_cache_side_channel
-from repro.core.parallel import ExecutionBackend, create_backend, merge_side_channels
+from repro.core.parallel import (
+    DISPATCH_KINDS,
+    DispatchStats,
+    ExecutionBackend,
+    create_backend,
+    merge_side_channels,
+)
 from repro.whatif.service import CostService
 
 __all__ = [
     "EXPERIMENT_BACKEND_ENV_VAR",
+    "EXPERIMENT_DISPATCH_ENV_VAR",
     "ExperimentCell",
     "ExperimentScheduler",
     "build_cells",
     "cell_seed",
     "resolve_experiment_backend",
+    "resolve_experiment_dispatch",
 ]
 
 #: Environment variable consulted when no experiment backend is passed
 #: explicitly (the experiment-level sibling of ``STUBBY_SEARCH_BACKEND``).
 EXPERIMENT_BACKEND_ENV_VAR = "STUBBY_EXPERIMENT_BACKEND"
+
+#: Environment variable selecting the cell dispatch mode ("static" or
+#: "stealing") when none is passed explicitly.
+EXPERIMENT_DISPATCH_ENV_VAR = "STUBBY_EXPERIMENT_DISPATCH"
+
+
+def resolve_experiment_dispatch(dispatch: Optional[str]) -> str:
+    """Normalize a dispatch argument (explicit > environment > "static")."""
+    if dispatch is None:
+        dispatch = os.environ.get(EXPERIMENT_DISPATCH_ENV_VAR, "").strip() or "static"
+    if dispatch not in DISPATCH_KINDS:
+        raise ValueError(
+            f"unknown experiment dispatch {dispatch!r}; expected one of {DISPATCH_KINDS}"
+        )
+    return dispatch
 
 
 def resolve_experiment_backend(backend) -> ExecutionBackend:
@@ -127,8 +150,13 @@ def build_cells(
 class ExperimentScheduler:
     """Dispatches experiment cells onto a pluggable execution backend."""
 
-    def __init__(self, backend=None) -> None:
+    def __init__(self, backend=None, dispatch: Optional[str] = None) -> None:
         self.backend = resolve_experiment_backend(backend)
+        self.dispatch = resolve_experiment_dispatch(dispatch)
+        #: Dispatch accounting of the most recent :meth:`map_cells` call
+        #: (None until one has run): how cells spread across workers, how
+        #: many were stolen, and the idle-cost imbalance metric.
+        self.last_dispatch_stats: Optional[DispatchStats] = None
 
     @property
     def spec(self) -> str:
@@ -141,6 +169,7 @@ class ExperimentScheduler:
         run_cell: Callable[[ExperimentCell], object],
         cost_service: Optional[CostService] = None,
         decision_cache: Optional[DecisionCache] = None,
+        cell_costs: Optional[Sequence[float]] = None,
     ) -> List[object]:
         """Run every cell and return its results in cell order.
 
@@ -153,6 +182,14 @@ class ExperimentScheduler:
         its own channel in the same way (forked cells export newly recorded
         decisions for merge-on-join, so one cell's solved units replay in
         every later run).
+
+        Cells are heterogeneous — a Baseline cell costs a fraction of a
+        Stubby cell on a wide workload — so the scheduler supports
+        ``dispatch="stealing"``: idle workers pull the next cell instead of
+        being dealt a fixed share up front.  ``cell_costs`` (optional,
+        parallel to ``cells``) declares relative cell weights for the load
+        accounting surfaced in :attr:`last_dispatch_stats`; results are
+        identical either way, in cell order, by the determinism contract.
         """
         channels = [
             cost_service_side_channel(cost_service) if cost_service is not None else None,
@@ -168,5 +205,8 @@ class ExperimentScheduler:
         def worker(index: int):
             return run_cell(indexed[index])
 
-        with self.backend.session(worker, side) as session:
-            return session.run(list(range(len(indexed))))
+        with self.backend.session(worker, side, dispatch=self.dispatch) as session:
+            try:
+                return session.run(list(range(len(indexed))), costs=cell_costs)
+            finally:
+                self.last_dispatch_stats = session.dispatch_stats

@@ -1,0 +1,52 @@
+"""Optimizer-as-a-service: a long-lived, multi-tenant planning server.
+
+The paper frames Stubby as a library call; this package wraps that library
+in the ROADMAP's north-star shape — a service absorbing optimization
+requests from many concurrent clients over one shared, persisted
+:class:`~repro.whatif.service.CostService` and
+:class:`~repro.core.decision_cache.DecisionCache`:
+
+* :mod:`repro.service.admission` — a bounded admission queue with
+  per-tenant round-robin fairness (one hot tenant cannot starve the rest);
+* :mod:`repro.service.server` — the asyncio front end
+  (:class:`PlanningServer`) and its dispatcher, batching admitted requests
+  onto a :mod:`repro.core.parallel` backend with work-stealing dispatch;
+* :mod:`repro.service.stats` — per-tenant, origin-tagged attribution
+  (:class:`ServiceStats`) whose counters sum exactly to the global cache
+  totals.
+
+The contract is the same one every other layer honours, restated for
+serving: **every server answer is bit-identical to a cold in-process
+``StubbyOptimizer.optimize()``** — concurrency, batching, worker pools,
+shared caches, even worker crashes change only latency, never plans.
+``tests/test_planning_service.py`` enforces it under concurrent
+mixed-tenant load.
+"""
+
+from repro.service.admission import AdmissionQueue, AdmissionRejected, AdmissionStats
+from repro.service.server import (
+    OPTIMIZER_VARIANTS,
+    PlanRequest,
+    PlanResponse,
+    PlanningServer,
+    build_variant,
+    cold_optimize,
+    oracle_fingerprint,
+)
+from repro.service.stats import ServiceStats, TenantStats, percentile
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "AdmissionStats",
+    "OPTIMIZER_VARIANTS",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanningServer",
+    "ServiceStats",
+    "TenantStats",
+    "build_variant",
+    "cold_optimize",
+    "oracle_fingerprint",
+    "percentile",
+]

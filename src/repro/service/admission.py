@@ -1,0 +1,219 @@
+"""Bounded, per-tenant-fair admission control for the planning server.
+
+A long-lived service cannot let demand queue without bound (memory, tail
+latency) and cannot let one hot tenant monopolize the workers.  The
+:class:`AdmissionQueue` solves both with the smallest classical mechanism:
+
+* **bounded** — a global capacity plus an optional per-tenant capacity;
+  an offer over either limit is rejected *immediately*
+  (:class:`AdmissionRejected`), so the client can back off instead of
+  timing out invisibly deep in a queue;
+* **fair** — internally one FIFO deque *per tenant* plus a round-robin
+  ring over the tenants that currently have queued work.  ``take_batch``
+  drains tenants in ring order, one item per turn, so a tenant sending
+  1000 requests and a tenant sending 1 both get their head-of-line request
+  into the next batch.
+
+The queue is thread-safe (one condition variable) and deliberately knows
+nothing about asyncio: the server's event loop offers tickets from the
+loop thread, the dispatcher thread blocks in ``take_batch``.  Cancellation
+is cooperative — :meth:`remove` withdraws a queued item (releasing its
+capacity) and the dispatcher skips items whose ticket was cancelled after
+it was already taken.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AdmissionQueue", "AdmissionRejected", "AdmissionStats"]
+
+
+class AdmissionRejected(RuntimeError):
+    """An offered request was not admitted (queue full, closed, …)."""
+
+    def __init__(self, reason: str, tenant: str = "") -> None:
+        super().__init__(f"request rejected for tenant {tenant!r}: {reason}")
+        self.reason = reason
+        self.tenant = tenant
+
+
+@dataclass
+class AdmissionStats:
+    """Counters describing what the queue admitted, rejected, and served."""
+
+    offered: int = 0
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_tenant_full: int = 0
+    rejected_closed: int = 0
+    taken: int = 0
+    cancelled_in_queue: int = 0
+    peak_depth: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections, any reason."""
+        return self.rejected_full + self.rejected_tenant_full + self.rejected_closed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected_full": self.rejected_full,
+            "rejected_tenant_full": self.rejected_tenant_full,
+            "rejected_closed": self.rejected_closed,
+            "rejected": self.rejected,
+            "taken": self.taken,
+            "cancelled_in_queue": self.cancelled_in_queue,
+            "peak_depth": self.peak_depth,
+        }
+
+
+@dataclass
+class _TenantQueue:
+    items: deque = field(default_factory=deque)
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant queue with round-robin draining.
+
+    ``capacity`` bounds the total queued items; ``per_tenant_capacity``
+    (optional) additionally bounds any single tenant's share, which is what
+    actually enforces fairness under overload — without it a burst from one
+    tenant can fill the whole global budget before anyone else offers.
+    """
+
+    def __init__(self, capacity: int = 64, per_tenant_capacity: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        if per_tenant_capacity is not None and per_tenant_capacity < 1:
+            raise ValueError("per-tenant capacity must be >= 1")
+        self.capacity = capacity
+        self.per_tenant_capacity = per_tenant_capacity
+        self.stats = AdmissionStats()
+        self._tenants: Dict[str, _TenantQueue] = {}
+        #: Tenants with queued work, in round-robin service order.
+        self._ring: deque = deque()
+        self._size = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------- producers
+    def offer(self, tenant: str, item: Any) -> None:
+        """Admit ``item`` for ``tenant`` or raise :class:`AdmissionRejected`."""
+        with self._cond:
+            self.stats.offered += 1
+            if self._closed:
+                self.stats.rejected_closed += 1
+                raise AdmissionRejected("queue is closed", tenant)
+            if self._size >= self.capacity:
+                self.stats.rejected_full += 1
+                raise AdmissionRejected(
+                    f"queue is full ({self._size}/{self.capacity})", tenant
+                )
+            queue = self._tenants.setdefault(tenant, _TenantQueue())
+            if (
+                self.per_tenant_capacity is not None
+                and len(queue.items) >= self.per_tenant_capacity
+            ):
+                self.stats.rejected_tenant_full += 1
+                raise AdmissionRejected(
+                    f"tenant quota is full ({len(queue.items)}/{self.per_tenant_capacity})",
+                    tenant,
+                )
+            if not queue.items and tenant not in self._ring:
+                # (membership scan: the ring holds tenants, not items — tiny)
+                self._ring.append(tenant)
+            queue.items.append(item)
+            self._size += 1
+            self.stats.accepted += 1
+            self.stats.peak_depth = max(self.stats.peak_depth, self._size)
+            self._cond.notify()
+
+    def remove(self, tenant: str, item: Any) -> bool:
+        """Withdraw a queued item (client cancelled); True when found.
+
+        A False return means the dispatcher already took the item — the
+        caller's cancellation must then be honoured at completion time
+        (the server discards the computed response).
+        """
+        with self._cond:
+            queue = self._tenants.get(tenant)
+            if queue is None:
+                return False
+            try:
+                queue.items.remove(item)
+            except ValueError:
+                return False
+            self._size -= 1
+            self.stats.cancelled_in_queue += 1
+            # The ring entry (if any) is lazily skipped by _pop_round_robin
+            # once the tenant's queue is empty.
+            return True
+
+    # ------------------------------------------------------------- consumers
+    def take_batch(self, limit: int, timeout: Optional[float] = None) -> List[Any]:
+        """Take up to ``limit`` items, round-robin across tenants.
+
+        Blocks until at least one item is available, the queue closes, or
+        ``timeout`` elapses (empty list on timeout / closed-and-empty).
+        """
+        if limit < 1:
+            raise ValueError("batch limit must be >= 1")
+        with self._cond:
+            if not self._size and not self._closed:
+                self._cond.wait(timeout)
+            batch: List[Any] = []
+            while self._size and len(batch) < limit:
+                item = self._pop_round_robin()
+                if item is not None:
+                    batch.append(item)
+            self.stats.taken += len(batch)
+            return batch
+
+    def _pop_round_robin(self) -> Optional[Any]:
+        """Pop one item from the tenant at the head of the ring (lock held)."""
+        while self._ring:
+            tenant = self._ring.popleft()
+            queue = self._tenants[tenant]
+            if not queue.items:
+                continue  # emptied by remove(); drop the stale ring entry
+            item = queue.items.popleft()
+            self._size -= 1
+            if queue.items:
+                self._ring.append(tenant)
+            return item
+        return None
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop admitting; queued items remain takeable (drain-then-stop)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def reopen(self) -> None:
+        """Re-admit after a close (server restart with warm caches)."""
+        with self._cond:
+            self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._size
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        """Queued items, total or for one tenant."""
+        with self._cond:
+            if tenant is None:
+                return self._size
+            queue = self._tenants.get(tenant)
+            return len(queue.items) if queue else 0

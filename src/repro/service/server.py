@@ -1,0 +1,587 @@
+"""The asyncio planning server: optimize-as-a-service over shared caches.
+
+Request path (see ``docs/service.md`` for the full diagram)::
+
+    client coroutine --submit()--> AdmissionQueue --take_batch()--> dispatcher
+        thread --session.run(batch, dispatch="stealing")--> worker pool
+        --optimize()--> PlanResponse --call_soon_threadsafe--> client future
+
+One **dispatcher thread** owns the backend session.  It drains the
+admission queue in per-tenant round-robin order into micro-batches and
+fans each batch onto a :mod:`repro.core.parallel` backend with
+work-stealing dispatch, so a tenant's expensive workflow occupies one
+worker while cheap requests keep flowing around it.  Results resolve the
+clients' asyncio futures back on the event loop.
+
+Every request executes under the tenant's cost-service **origin label**
+and a pair of per-request attribution sinks, so
+:class:`~repro.service.stats.ServiceStats` can report per-tenant hit rates
+and cross-origin reuse that reconcile exactly with the shared caches.
+
+The serving contract is the library contract, unchanged: a response's
+``(plan_signature, decision_fingerprint, estimated_cost_s)`` triple is
+bit-identical to what a cold, serial, in-process
+:class:`~repro.core.optimizer.StubbyOptimizer` would return for the same
+(workload, variant, seed) — :func:`cold_optimize` *is* that oracle, and
+``tests/test_planning_service.py`` holds the server to it under
+concurrent mixed-tenant load, worker crashes included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.core.costing import cost_service_side_channel, ensure_cost_service
+from repro.core.decision_cache import (
+    DecisionCache,
+    DecisionCacheStats,
+    decision_cache_side_channel,
+    ensure_decision_cache,
+)
+from repro.core.optimizer import OptimizationResult, StubbyOptimizer
+from repro.core.parallel import (
+    DispatchStats,
+    ExecutionBackend,
+    create_backend,
+    merge_side_channels,
+)
+from repro.core.plan import Plan
+from repro.service.admission import AdmissionQueue, AdmissionRejected
+from repro.service.stats import ServiceStats
+from repro.whatif.service import CostService, CostServiceStats
+
+__all__ = [
+    "OPTIMIZER_VARIANTS",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanningServer",
+    "build_variant",
+    "cold_optimize",
+    "oracle_fingerprint",
+]
+
+#: Optimizer variants the server accepts (the Stubby phase family plus the
+#: rule-based Pig baseline).
+OPTIMIZER_VARIANTS = ("Stubby", "Vertical", "Horizontal", "Baseline")
+
+
+def build_variant(
+    name: str,
+    cluster: ClusterSpec,
+    seed: int,
+    cost_service: Optional[CostService] = None,
+    decision_cache: Optional[DecisionCache] = None,
+    backend=None,
+):
+    """Instantiate one optimizer variant over (optionally shared) caches."""
+    shared = {"cost_service": cost_service, "decision_cache": decision_cache}
+    if name == "Stubby":
+        return StubbyOptimizer(cluster, seed=seed, backend=backend, **shared)
+    if name == "Vertical":
+        return StubbyOptimizer.vertical_only(cluster, seed=seed, backend=backend, **shared)
+    if name == "Horizontal":
+        return StubbyOptimizer.horizontal_only(cluster, seed=seed, backend=backend, **shared)
+    if name == "Baseline":
+        # Imported here: repro.baselines imports OptimizationResult from the
+        # optimizer module this module also imports.
+        from repro.baselines.pig_baseline import PigBaselineOptimizer
+
+        return PigBaselineOptimizer(cluster, **shared)
+    raise KeyError(f"unknown optimizer variant {name!r}; expected one of {OPTIMIZER_VARIANTS}")
+
+
+def cold_optimize(
+    cluster: ClusterSpec, plan: Plan, optimizer: str = "Stubby", seed: int = 17
+) -> OptimizationResult:
+    """The oracle: a cold, serial, in-process run of the requested variant.
+
+    Fresh caches (nothing persisted, nothing shared), serial backend —
+    the baseline every server answer must be bit-identical to.
+    """
+    costs = CostService(cluster)
+    decisions = DecisionCache(cluster)
+    variant = build_variant(
+        optimizer, cluster, seed, cost_service=costs, decision_cache=decisions, backend="serial"
+    )
+    return variant.optimize(plan.copy())
+
+
+def oracle_fingerprint(result: OptimizationResult) -> Tuple:
+    """The identity triple responses are byte-compared on."""
+    return (result.plan_signature(), result.decision_fingerprint(), result.estimated_cost_s)
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One client's optimization request."""
+
+    tenant: str
+    workload: str
+    optimizer: str = "Stubby"
+    seed: int = 17
+    #: Relative cost weight for the pool's load accounting (heterogeneous
+    #: requests are why dispatch is work-stealing); any positive number.
+    cost_weight: float = 1.0
+
+
+@dataclass
+class PlanResponse:
+    """The server's answer, with its exact attribution attached."""
+
+    tenant: str
+    workload: str
+    optimizer: str
+    seed: int
+    ok: bool = False
+    plan_signature: Tuple = ()
+    decision_fingerprint: Tuple = ()
+    estimated_cost_s: float = 0.0
+    error: str = ""
+    worker_pid: int = 0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+    unit_decision_hits: int = 0
+    unit_decision_misses: int = 0
+    cross_origin_decision_hits: int = 0
+    #: Exact cost-service delta this request produced (its attribution sink).
+    cost_stats: Optional[CostServiceStats] = None
+    #: Exact decision-cache delta this request produced.
+    decision_stats: Optional[DecisionCacheStats] = None
+
+    def identity(self) -> Tuple:
+        """The triple compared against :func:`oracle_fingerprint`."""
+        return (self.plan_signature, self.decision_fingerprint, self.estimated_cost_s)
+
+
+@dataclass
+class _Ticket:
+    """One admitted request awaiting execution."""
+
+    request: PlanRequest
+    future: "asyncio.Future[PlanResponse]"
+    loop: asyncio.AbstractEventLoop
+    enqueued: float
+    cancelled: bool = False
+
+
+class PlanningServer:
+    """Long-lived multi-tenant front end over one shared optimizer substrate.
+
+    ``pool`` is a :mod:`repro.core.parallel` spec string (``"thread:4"``,
+    ``"process:2"``, ``"serial"``) or backend instance — the pool that runs
+    the optimizations; ``dispatch`` defaults to ``"stealing"``.  The server
+    owns one shared :class:`CostService` and :class:`DecisionCache` (or
+    accepts externally shared ones); with ``cache_path`` /
+    ``decision_cache_path`` configured it warm-starts from the persisted
+    stores and merge-persists them back on :meth:`stop`.
+
+    Workloads are registered up front (:meth:`register_workload`) — plans
+    hold closure-based operators that cannot cross a pickle boundary, so a
+    process pool's workers must inherit them by fork, exactly like the unit
+    search inherits candidate plans.  Registration is therefore rejected
+    once a fork pool has forked; :meth:`restart` re-forks with both the
+    registry and the warm caches.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        pool="thread:4",
+        dispatch: str = "stealing",
+        queue_capacity: int = 64,
+        per_tenant_capacity: Optional[int] = None,
+        max_batch: Optional[int] = None,
+        cost_service: Optional[CostService] = None,
+        decision_cache: Optional[DecisionCache] = None,
+        cache_path: Optional[str] = None,
+        decision_cache_path: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.costs = ensure_cost_service(cluster, cost_service, cache_path=cache_path)
+        self.decisions = ensure_decision_cache(cluster, decision_cache, cache_path=decision_cache_path)
+        self.backend: ExecutionBackend = (
+            pool if isinstance(pool, ExecutionBackend) else create_backend(pool)
+        )
+        self.dispatch = dispatch
+        self.admission = AdmissionQueue(queue_capacity, per_tenant_capacity)
+        self.stats = ServiceStats()
+        self._registry: Dict[str, Plan] = {}
+        self._max_batch = max_batch or max(2 * self.backend.workers, 4)
+        self._session = None
+        #: Guards the detach-then-accumulate handoff between a session and
+        #: ``_pool_history`` so concurrent ``dispatch_stats()`` readers never
+        #: see a session's counters in both places at once.
+        self._session_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._running = False
+        self._stopping = False
+        #: Dispatch counters of already-closed sessions (pool recycles).
+        self._pool_history = DispatchStats(dispatch=dispatch, workers=self.backend.workers)
+
+    # -------------------------------------------------------------- registry
+    def register_workload(self, name: str, plan_or_workflow) -> None:
+        """Register a named, profiled workload clients can request.
+
+        Must happen before a process pool forks: forked workers inherit the
+        registry by memory, and a plan registered later would be invisible
+        to them (and unpicklable to send).
+        """
+        if self._session is not None and getattr(self._session, "forked", False):
+            raise RuntimeError(
+                "cannot register a workload after the process pool has forked; "
+                "restart() the server to re-fork with the new registry"
+            )
+        plan = (
+            plan_or_workflow
+            if isinstance(plan_or_workflow, Plan)
+            else Plan(plan_or_workflow)
+        )
+        self._registry[name] = plan
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._registry))
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self, serve: bool = True) -> "PlanningServer":
+        """Open for traffic.  ``serve=False`` admits but does not dispatch
+        (requests queue until :meth:`resume` — the drain-control used by the
+        admission tests)."""
+        if self._running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._stopping = False
+        self.admission.reopen()
+        self._running = True
+        if serve:
+            self.resume()
+        return self
+
+    def resume(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        if not self._running:
+            raise RuntimeError("server is not started")
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="planning-server", daemon=True
+        )
+        self._thread.start()
+
+    async def stop(self, persist: bool = True) -> None:
+        """Drain queued requests, merge worker state, persist caches."""
+        if not self._running:
+            return
+        self._stopping = True
+        self.admission.close()
+        loop = asyncio.get_running_loop()
+        if self._thread is not None and self._thread.is_alive():
+            await loop.run_in_executor(None, self._thread.join)
+        elif len(self.admission):
+            # start(serve=False) with queued work: drain synchronously so
+            # stop() never strands accepted requests.
+            await loop.run_in_executor(None, self._serve_loop)
+        self._thread = None
+        await loop.run_in_executor(None, self._close_session)
+        self._running = False
+        if persist:
+            if self.costs.cache_path:
+                self.costs.save_cache(merge_first=True)
+            if self.decisions.cache_path and self.decisions.enabled:
+                self.decisions.save_cache(merge_first=True)
+
+    async def restart(self, persist: bool = True) -> "PlanningServer":
+        """Stop (merging worker caches) and start again, warm.
+
+        For a process pool this is the warm-restart story: the old workers'
+        cache shards merged on close, and the new workers fork from the
+        merged parent — so the next wave's lookups hit.
+        """
+        await self.stop(persist=persist)
+        return await self.start()
+
+    async def __aenter__(self) -> "PlanningServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # --------------------------------------------------------------- clients
+    async def submit(self, request: PlanRequest, timeout: Optional[float] = None) -> PlanResponse:
+        """Submit one request; resolves when its optimization completes.
+
+        Raises :class:`AdmissionRejected` when the queue (or the tenant's
+        quota) is full, the server is stopped, or the request names an
+        unknown workload/variant; raises :class:`asyncio.TimeoutError` after
+        ``timeout`` seconds (the request is withdrawn — if it was already
+        executing, its response is discarded on completion).
+        """
+        self.stats.count(request.tenant, "submitted")
+        if not self._running:
+            self.stats.count(request.tenant, "rejected")
+            raise AdmissionRejected("server is not running", request.tenant)
+        if request.workload not in self._registry:
+            self.stats.count(request.tenant, "rejected")
+            raise AdmissionRejected(f"unknown workload {request.workload!r}", request.tenant)
+        if request.optimizer not in OPTIMIZER_VARIANTS:
+            self.stats.count(request.tenant, "rejected")
+            raise AdmissionRejected(f"unknown optimizer {request.optimizer!r}", request.tenant)
+        loop = asyncio.get_running_loop()
+        ticket = _Ticket(
+            request=request,
+            future=loop.create_future(),
+            loop=loop,
+            enqueued=time.perf_counter(),
+        )
+        try:
+            self.admission.offer(request.tenant, ticket)
+        except AdmissionRejected:
+            self.stats.count(request.tenant, "rejected")
+            raise
+        self.stats.count(request.tenant, "accepted")
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(ticket.future, timeout)
+            return await ticket.future
+        except (asyncio.CancelledError, asyncio.TimeoutError):
+            ticket.cancelled = True
+            self.admission.remove(request.tenant, ticket)
+            self.stats.count(request.tenant, "cancelled")
+            raise
+
+    # ----------------------------------------------------------- dispatcher
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self.admission.take_batch(self._max_batch, timeout=0.05)
+            if not batch:
+                # stop() closes admission; drain what was accepted, then exit.
+                if self.admission.closed and not len(self.admission):
+                    break
+                continue
+            tickets = [ticket for ticket in batch if not ticket.cancelled]
+            if not tickets:
+                continue
+            self._run_batch(tickets)
+            self.stats.batches += 1
+
+    def _ensure_session(self):
+        if self._session is None:
+            side = merge_side_channels(
+                cost_service_side_channel(self.costs),
+                (
+                    decision_cache_side_channel(self.decisions)
+                    if self.decisions.enabled
+                    else None
+                ),
+            )
+            self._session = self.backend.session(
+                self._execute, side, dispatch=self.dispatch
+            )
+        return self._session
+
+    def _close_session(self) -> None:
+        with self._session_lock:
+            session = self._session
+            self._session = None
+            if session is not None:
+                self._pool_history.accumulate(session.dispatch_stats)
+        if session is not None:
+            session.close()
+
+    def _run_batch(self, tickets: List[_Ticket]) -> None:
+        session = self._ensure_session()
+        work = [
+            (t.request.tenant, t.request.workload, t.request.optimizer, t.request.seed)
+            for t in tickets
+        ]
+        costs = [t.request.cost_weight for t in tickets]
+        dispatched = time.perf_counter()
+        try:
+            raw_responses = session.run(work, costs=costs)
+        except RuntimeError as exc:
+            # The pool failed hard (all workers dead, or a request kept
+            # dying).  Fail this batch cleanly and recycle the pool so the
+            # next batch gets fresh workers; nothing was double-absorbed —
+            # one request is one chunk is one payload.
+            self._close_session()
+            for ticket in tickets:
+                self._resolve_error(ticket, f"worker pool failed: {exc}", dispatched)
+            return
+        for ticket, raw in zip(tickets, raw_responses):
+            self._resolve(ticket, raw, dispatched)
+        # A stealing fork pool survives individual deaths; recycle once the
+        # batch is answered so capacity recovers (close merges the
+        # survivors' caches, the next batch re-forks at full strength).
+        if getattr(session, "forked", False) and session.live_workers < self.backend.workers:
+            self._close_session()
+
+    def _execute(self, work: Tuple[str, str, str, int]):
+        """Worker-side: run one optimization under tenant attribution.
+
+        Runs on whatever worker the pool chose (a pool thread, a forked
+        process, or inline for one-request batches); returns only plain
+        picklable data.  Exceptions become error tuples — a worker never
+        dies because of a bad request.
+        """
+        tenant, workload, optimizer, seed = work
+        started = time.perf_counter()
+        cost_sink = CostServiceStats()
+        decision_sink = DecisionCacheStats()
+        try:
+            plan = self._registry[workload]
+            variant = build_variant(
+                optimizer,
+                self.cluster,
+                seed,
+                cost_service=self.costs,
+                decision_cache=self.decisions,
+                backend="serial",
+            )
+            with self.costs.origin(f"tenant:{tenant}"):
+                with self.costs.attribute_to(cost_sink):
+                    with self.decisions.attribute_to(decision_sink):
+                        result = variant.optimize(plan.copy())
+        except Exception:
+            return (
+                "error",
+                traceback.format_exc(),
+                os.getpid(),
+                time.perf_counter() - started,
+                cost_sink,
+                decision_sink,
+            )
+        return (
+            "ok",
+            result.plan_signature(),
+            result.decision_fingerprint(),
+            result.estimated_cost_s,
+            result.unit_decision_hits,
+            result.unit_decision_misses,
+            result.cross_origin_decision_hits,
+            os.getpid(),
+            time.perf_counter() - started,
+            cost_sink,
+            decision_sink,
+        )
+
+    # ------------------------------------------------------------ resolution
+    def _resolve(self, ticket: _Ticket, raw, dispatched: float) -> None:
+        request = ticket.request
+        now = time.perf_counter()
+        if raw[0] == "error":
+            _tag, error, pid, service_s, cost_sink, decision_sink = raw
+            response = PlanResponse(
+                tenant=request.tenant,
+                workload=request.workload,
+                optimizer=request.optimizer,
+                seed=request.seed,
+                ok=False,
+                error=error,
+                worker_pid=pid,
+                queue_wait_s=dispatched - ticket.enqueued,
+                service_s=service_s,
+                latency_s=now - ticket.enqueued,
+                cost_stats=cost_sink,
+                decision_stats=decision_sink,
+            )
+        else:
+            (
+                _tag,
+                signature,
+                fingerprint,
+                estimated,
+                decision_hits,
+                decision_misses,
+                cross_origin,
+                pid,
+                service_s,
+                cost_sink,
+                decision_sink,
+            ) = raw
+            response = PlanResponse(
+                tenant=request.tenant,
+                workload=request.workload,
+                optimizer=request.optimizer,
+                seed=request.seed,
+                ok=True,
+                plan_signature=signature,
+                decision_fingerprint=fingerprint,
+                estimated_cost_s=estimated,
+                worker_pid=pid,
+                queue_wait_s=dispatched - ticket.enqueued,
+                service_s=service_s,
+                latency_s=now - ticket.enqueued,
+                unit_decision_hits=decision_hits,
+                unit_decision_misses=decision_misses,
+                cross_origin_decision_hits=cross_origin,
+                cost_stats=cost_sink,
+                decision_stats=decision_sink,
+            )
+        # The tenant's ledger sees every executed request — cancelled or not;
+        # the work happened, so the attribution invariant must include it.
+        self.stats.record_completion(
+            request.tenant,
+            latency_s=response.latency_s,
+            queue_wait_s=response.queue_wait_s,
+            service_s=response.service_s,
+            cost_delta=response.cost_stats,
+            decision_delta=response.decision_stats,
+            ok=response.ok,
+        )
+        self._deliver(ticket, response)
+
+    def _resolve_error(self, ticket: _Ticket, error: str, dispatched: float) -> None:
+        request = ticket.request
+        now = time.perf_counter()
+        response = PlanResponse(
+            tenant=request.tenant,
+            workload=request.workload,
+            optimizer=request.optimizer,
+            seed=request.seed,
+            ok=False,
+            error=error,
+            queue_wait_s=dispatched - ticket.enqueued,
+            latency_s=now - ticket.enqueued,
+        )
+        self.stats.record_completion(
+            request.tenant,
+            latency_s=response.latency_s,
+            queue_wait_s=response.queue_wait_s,
+            service_s=0.0,
+            cost_delta=None,
+            decision_delta=None,
+            ok=False,
+        )
+        self._deliver(ticket, response)
+
+    def _deliver(self, ticket: _Ticket, response: PlanResponse) -> None:
+        def set_result() -> None:
+            if not ticket.future.done():
+                ticket.future.set_result(response)
+
+        ticket.loop.call_soon_threadsafe(set_result)
+
+    # -------------------------------------------------------------- insight
+    def dispatch_stats(self) -> DispatchStats:
+        """Aggregated pool accounting across every session so far."""
+        total = DispatchStats(dispatch=self.dispatch, workers=self.backend.workers)
+        with self._session_lock:
+            total.accumulate(self._pool_history)
+            if self._session is not None:
+                total.accumulate(self._session.dispatch_stats)
+        return total
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (process pools only; else [])."""
+        if self._session is not None and hasattr(self._session, "worker_pids"):
+            return self._session.worker_pids()
+        return []

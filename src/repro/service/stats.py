@@ -1,0 +1,201 @@
+"""Per-tenant service accounting with an exact reconciliation contract.
+
+Every request the :class:`~repro.service.server.PlanningServer` executes
+runs under a cost-service **origin label** (``tenant:<id>``) and a pair of
+**attribution sinks** — one :class:`~repro.whatif.service.CostServiceStats`
+and one :class:`~repro.core.decision_cache.DecisionCacheStats` that receive
+exactly the counter deltas that request produced, wherever it ran (the
+thread pool's shared counters or a forked worker's merged chunk payload).
+:class:`ServiceStats` folds those per-request deltas into per-tenant
+totals.
+
+That design gives an *exact* invariant rather than a monitoring
+approximation: because the global cache counters and the per-request sinks
+are incremented by the same code paths, the per-tenant totals sum to the
+global ``CostService``/``DecisionCache`` deltas **to the counter**, under
+any interleaving of tenants, batches, and backends —
+``tests/test_planning_service.py`` asserts it.  ``cross_origin_hits``
+additionally shows how much of one tenant's traffic was answered by cache
+entries another tenant (or a persisted store) paid for — the ReStore
+argument for a shared warm cache, measured per tenant.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.decision_cache import DecisionCacheStats
+from repro.whatif.service import CostServiceStats
+
+__all__ = ["ServiceStats", "TenantStats", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class TenantStats:
+    """Everything the service knows about one tenant's traffic."""
+
+    tenant: str
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    completed: int = 0
+    failed: int = 0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    #: Wall-clock submit→response latency of every completed request.
+    latencies: List[float] = field(default_factory=list)
+    #: Exact cost-service activity attributed to this tenant's requests.
+    cost_stats: CostServiceStats = field(default_factory=CostServiceStats)
+    #: Exact decision-cache activity attributed to this tenant's requests.
+    decision_stats: DecisionCacheStats = field(default_factory=DecisionCacheStats)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this tenant's job lookups served from the cost cache."""
+        return self.cost_stats.cache_hit_rate
+
+    @property
+    def decision_hit_rate(self) -> float:
+        return self.decision_stats.hit_rate
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_wait_s": self.queue_wait_s,
+            "service_s": self.service_s,
+            "latency_p50_s": percentile(self.latencies, 50),
+            "latency_p99_s": percentile(self.latencies, 99),
+            "cache_hit_rate": self.cache_hit_rate,
+            "decision_hit_rate": self.decision_hit_rate,
+            "cost_stats": self.cost_stats.as_dict(),
+            "decision_stats": self.decision_stats.as_dict(),
+        }
+
+
+class ServiceStats:
+    """Thread-safe per-tenant roll-up of the server's activity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantStats] = {}
+        self.batches = 0
+
+    def tenant(self, name: str) -> TenantStats:
+        """The (created-on-first-use) stats row of one tenant."""
+        with self._lock:
+            stats = self._tenants.get(name)
+            if stats is None:
+                stats = self._tenants[name] = TenantStats(tenant=name)
+            return stats
+
+    @property
+    def tenants(self) -> Dict[str, TenantStats]:
+        """Snapshot view of the per-tenant rows (keyed by tenant id)."""
+        with self._lock:
+            return dict(self._tenants)
+
+    # ------------------------------------------------------------ recording
+    def count(self, tenant: str, event: str) -> None:
+        """Bump one lifecycle counter (submitted/accepted/rejected/…)."""
+        stats = self.tenant(tenant)
+        with self._lock:
+            setattr(stats, event, getattr(stats, event) + 1)
+
+    def record_completion(
+        self,
+        tenant: str,
+        latency_s: float,
+        queue_wait_s: float,
+        service_s: float,
+        cost_delta: Optional[CostServiceStats],
+        decision_delta: Optional[DecisionCacheStats],
+        ok: bool = True,
+    ) -> None:
+        """Fold one finished request's exact deltas into its tenant's row."""
+        stats = self.tenant(tenant)
+        with self._lock:
+            if ok:
+                stats.completed += 1
+                stats.latencies.append(latency_s)
+            else:
+                stats.failed += 1
+            stats.queue_wait_s += queue_wait_s
+            stats.service_s += service_s
+            if cost_delta is not None:
+                stats.cost_stats.accumulate(cost_delta)
+            if decision_delta is not None:
+                stats.decision_stats.accumulate(decision_delta)
+
+    # ------------------------------------------------------------- roll-ups
+    def total_cost_stats(self) -> CostServiceStats:
+        """Sum of every tenant's attributed cost-service counters.
+
+        By the attribution invariant this equals the global
+        ``CostService.stats_snapshot()`` delta over the served window.
+        """
+        total = CostServiceStats()
+        with self._lock:
+            for stats in self._tenants.values():
+                total.accumulate(stats.cost_stats)
+        return total
+
+    def total_decision_stats(self) -> DecisionCacheStats:
+        """Sum of every tenant's attributed decision-cache counters."""
+        total = DecisionCacheStats()
+        with self._lock:
+            for stats in self._tenants.values():
+                total.accumulate(stats.decision_stats)
+        return total
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            rows = {name: stats.as_dict() for name, stats in self._tenants.items()}
+            batches = self.batches
+        return {
+            "batches": batches,
+            "tenants": rows,
+            "total_cost_stats": self.total_cost_stats().as_dict(),
+            "total_decision_stats": self.total_decision_stats().as_dict(),
+        }
+
+    def report(self) -> str:
+        """Human-readable per-tenant table (completed, latency, hit rates)."""
+        header = (
+            f"{'tenant':<12} {'done':>5} {'fail':>5} {'rej':>5} {'cxl':>5} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'cost hit%':>10} {'decision hit%':>14} "
+            f"{'cross-origin':>13}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.tenants):
+            stats = self.tenant(name)
+            lines.append(
+                f"{name:<12} {stats.completed:>5} {stats.failed:>5} "
+                f"{stats.rejected:>5} {stats.cancelled:>5} "
+                f"{percentile(stats.latencies, 50) * 1e3:>8.1f} "
+                f"{percentile(stats.latencies, 99) * 1e3:>8.1f} "
+                f"{stats.cache_hit_rate * 100:>9.1f}% "
+                f"{stats.decision_hit_rate * 100:>13.1f}% "
+                f"{stats.decision_stats.cross_origin_hits + stats.cost_stats.cross_origin_hits:>13}"
+            )
+        return "\n".join(lines)

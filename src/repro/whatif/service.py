@@ -623,7 +623,12 @@ class CostService:
             self._store(cache, level, signature, value, log=False, origin=origin)
 
     # ------------------------------------------------------------ persistence
-    def save_cache(self, path: Optional[str] = None, max_entries: Optional[int] = None) -> int:
+    def save_cache(
+        self,
+        path: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        merge_first: bool = False,
+    ) -> int:
         """Persist both cache levels to ``path`` (default: ``cache_path``).
 
         The snapshot is stamped with the on-disk format version, the cost
@@ -641,10 +646,19 @@ class CostService:
         drains the stripes' MRU ends round-robin, which preserves global
         recency up to stripe granularity.  A compacted file is an ordinary
         cache file — loading it is just a smaller warm start.
+
+        ``merge_first=True`` re-absorbs the current file (if valid) before
+        writing, so a process that warm-started long ago — or never — does
+        not shrink a richer store some other process persisted meanwhile.
+        Entries are content-keyed and exact, so the merge is conflict-free
+        by construction; the read-merge-write is not transactional, merely
+        last-writer-wins over a superset of both stores.
         """
         path = path or self.cache_path
         if not path:
             raise ValueError("no cache path configured (pass path= or set cache_path)")
+        if merge_first:
+            self.load_cache(path)
         entries = self._entries_snapshot(resolve_cache_max_entries(max_entries))
         payload = {
             "format_version": CACHE_FORMAT_VERSION,

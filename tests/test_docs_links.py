@@ -35,6 +35,7 @@ REQUIRED_DOCS = (
     "costing.md",
     "verification.md",
     "experiments.md",
+    "service.md",
 )
 
 

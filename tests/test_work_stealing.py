@@ -1,0 +1,262 @@
+"""Work-stealing dispatch: identity, balance, fault tolerance, plumbing.
+
+The contract under test is the one ``docs/search.md`` documents for
+``dispatch="stealing"``: stealing changes *which worker* runs a request and
+*when*, never the results — every backend returns the same responses in
+request order as ``dispatch="static"``.  On top of identity the suite
+asserts the two properties stealing exists for:
+
+* **balance** — under heterogeneous request costs the counter-based
+  imbalance metric :attr:`DispatchStats.idle_cost_units` is measurably
+  lower than static round-robin dealing, with ``steals > 0`` proving the
+  dynamic path actually ran (counters, not wall clocks, so it holds on
+  1-CPU CI hosts too);
+* **fault tolerance** (fork pools only) — a worker SIGKILLed mid-request
+  loses exactly that request's chunk, which is retried on a survivor up to
+  ``MAX_TASK_ATTEMPTS`` times; deterministic worker exceptions are *never*
+  retried; when every worker is dead the session fails loudly.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core.parallel import (
+    DISPATCH_KINDS,
+    MAX_TASK_ATTEMPTS,
+    DispatchStats,
+    create_backend,
+)
+from repro.experiments import (
+    EXPERIMENT_DISPATCH_ENV_VAR,
+    ExperimentHarness,
+    ExperimentScheduler,
+    build_cells,
+    resolve_experiment_dispatch,
+)
+
+#: One expensive request among cheap ones: static round-robin on two
+#: workers deals slots [6+1+1+1, 1+1+1+1] (idle cost 5.0); a balanced
+#: split is [7, 6] (idle cost 1.0).
+WEIGHTS = [6.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+REQUESTS = list(range(len(WEIGHTS)))
+
+
+def _square(request: int) -> int:
+    return request * request
+
+
+def _weighted_sleep(request: int) -> int:
+    time.sleep(0.02 * WEIGHTS[request])
+    return request * request
+
+
+def _run(spec: str, dispatch: str, worker_fn=_square, costs=WEIGHTS):
+    backend = create_backend(spec)
+    with backend.session(worker_fn, dispatch=dispatch) as session:
+        responses = session.run(REQUESTS, costs=costs)
+        return responses, session.dispatch_stats
+
+
+class TestDispatchStats:
+    def test_record_and_idle_cost_units(self):
+        stats = DispatchStats(dispatch="stealing", workers=2)
+        stats.record(0, 6.0)
+        stats.record(1, 1.0, stolen=True)
+        stats.record(1, 1.0, stolen=True)
+        assert stats.tasks == 3
+        assert stats.steals == 2
+        assert stats.load_per_worker == [6.0, 2.0]
+        # width * max(load) - sum(load): worker 1 idles 4 cost units while
+        # worker 0 finishes its share.
+        assert stats.idle_cost_units == pytest.approx(2 * 6.0 - 8.0)
+
+    def test_accumulate_sums_counters_elementwise(self):
+        a = DispatchStats(dispatch="stealing", workers=2)
+        a.record(0, 2.0)
+        a.runs = 1
+        b = DispatchStats(dispatch="stealing", workers=3)
+        b.record(2, 5.0, stolen=True)
+        b.worker_deaths = 1
+        b.retried_tasks = 1
+        b.runs = 2
+        a.accumulate(b)
+        assert a.runs == 3
+        assert a.tasks == 2
+        assert a.steals == 1
+        assert a.worker_deaths == 1
+        assert a.retried_tasks == 1
+        assert a.tasks_per_worker == [1, 0, 1]
+        assert a.load_per_worker == [2.0, 0.0, 5.0]
+        assert set(a.as_dict()) >= {"dispatch", "steals", "idle_cost_units"}
+
+    def test_unknown_dispatch_rejected(self):
+        for spec in ("serial", "thread:2", "process:2"):
+            with pytest.raises(ValueError, match="dispatch"):
+                create_backend(spec).session(_square, dispatch="bogus")
+        assert set(DISPATCH_KINDS) == {"static", "stealing"}
+
+
+class TestStealingIdentity:
+    """Stealing returns exactly what static returns, in request order."""
+
+    @pytest.mark.parametrize("spec", ["serial", "thread:1", "thread:2", "thread:4", "process:2"])
+    def test_matches_static(self, spec):
+        static, _ = _run(spec, "static")
+        stolen, stats = _run(spec, "stealing")
+        assert stolen == static == [r * r for r in REQUESTS]
+        assert stats.tasks == len(REQUESTS)
+        assert sum(stats.tasks_per_worker) == len(REQUESTS)
+        assert sum(stats.load_per_worker) == pytest.approx(sum(WEIGHTS))
+
+    def test_cost_length_mismatch_rejected(self):
+        backend = create_backend("thread:2")
+        with backend.session(_square, dispatch="stealing") as session:
+            with pytest.raises(ValueError, match="costs"):
+                session.run(REQUESTS, costs=[1.0])
+
+
+class TestStealingBalance:
+    """Idle-cost imbalance shrinks when idle workers pull work."""
+
+    def test_thread_pool_balances_heterogeneous_load(self):
+        static, static_stats = _run("thread:2", "static", worker_fn=_weighted_sleep)
+        stolen, stealing_stats = _run("thread:2", "stealing", worker_fn=_weighted_sleep)
+        assert stolen == static
+        # Static round-robin is fully determined: slots [9, 4] of 13 units.
+        assert static_stats.idle_cost_units == pytest.approx(5.0)
+        assert static_stats.steals == 0
+        assert stealing_stats.steals > 0
+        assert stealing_stats.idle_cost_units < static_stats.idle_cost_units
+
+    def test_fork_pool_balances_heterogeneous_load(self):
+        static, static_stats = _run("process:2", "static", worker_fn=_weighted_sleep)
+        stolen, stealing_stats = _run("process:2", "stealing", worker_fn=_weighted_sleep)
+        assert stolen == static
+        assert static_stats.idle_cost_units == pytest.approx(5.0)
+        assert stealing_stats.steals > 0
+        assert stealing_stats.idle_cost_units < static_stats.idle_cost_units
+
+
+class TestForkFaultTolerance:
+    """Worker deaths are survived (stealing) or reported loudly."""
+
+    def test_killed_worker_request_is_retried_on_survivor(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+
+        def die_once(request: int) -> int:
+            if request == 5:
+                try:
+                    # O_EXCL claim: exactly one execution of request 5 dies,
+                    # the retry (and every other request) succeeds.
+                    fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    os.close(fd)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                except FileExistsError:
+                    pass
+            return request * request
+
+        backend = create_backend("process:2")
+        with backend.session(die_once, dispatch="stealing") as session:
+            responses = session.run(REQUESTS, costs=WEIGHTS)
+            stats = session.dispatch_stats
+        assert responses == [r * r for r in REQUESTS]
+        assert stats.worker_deaths == 1
+        assert stats.retried_tasks == 1
+        assert sum(stats.tasks_per_worker) == len(REQUESTS)
+
+    def test_all_workers_dead_raises(self):
+        def always_die(request: int) -> int:
+            os.kill(os.getpid(), signal.SIGKILL)
+            return request  # pragma: no cover
+
+        backend = create_backend("process:2")
+        session = backend.session(always_die, dispatch="stealing")
+        with pytest.raises(RuntimeError, match="parallel worker pool"):
+            session.run(REQUESTS)
+        session.close()
+
+    def test_deterministic_exception_is_not_retried(self):
+        def bad_request(request: int) -> int:
+            if request == 3:
+                raise ValueError("request 3 is always poisoned")
+            return request * request
+
+        backend = create_backend("process:2")
+        session = backend.session(bad_request, dispatch="stealing")
+        with pytest.raises(RuntimeError, match="poisoned"):
+            session.run(REQUESTS)
+        assert session.dispatch_stats.retried_tasks == 0
+        assert session.dispatch_stats.worker_deaths == 0
+        session.close()
+
+    def test_retry_cap_bounds_repeated_deaths(self):
+        # Request 5 dies on every execution: MAX_TASK_ATTEMPTS executions
+        # are allowed, then the batch aborts instead of spinning forever.
+        def die_always_on_5(request: int) -> int:
+            if request == 5:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return request * request
+
+        backend = create_backend("process:3")
+        session = backend.session(die_always_on_5, dispatch="stealing")
+        with pytest.raises(RuntimeError, match="parallel worker pool"):
+            session.run(REQUESTS)
+        assert session.dispatch_stats.worker_deaths == MAX_TASK_ATTEMPTS
+        session.close()
+
+
+class TestExperimentSchedulerStealing:
+    """map_cells keeps cell-order identity while balancing cell costs."""
+
+    CELLS = build_cells(["w1", "w2"], ["o1", "o2", "o3", "o4"], base_seed=7)
+
+    @staticmethod
+    def _run_cell(cell):
+        time.sleep(0.02 * WEIGHTS[cell.index])
+        return (cell.index, cell.label, cell.seed)
+
+    def _map(self, dispatch: str):
+        scheduler = ExperimentScheduler(backend="thread:2", dispatch=dispatch)
+        results = scheduler.map_cells(self.CELLS, self._run_cell, cell_costs=WEIGHTS)
+        return results, scheduler.last_dispatch_stats
+
+    def test_stealing_identical_and_balanced(self):
+        static, static_stats = self._map("static")
+        stolen, stealing_stats = self._map("stealing")
+        assert stolen == static
+        assert [index for index, _, _ in static] == list(range(len(self.CELLS)))
+        assert static_stats is not None and stealing_stats is not None
+        assert stealing_stats.steals > 0
+        assert stealing_stats.idle_cost_units < static_stats.idle_cost_units
+
+    def test_resolve_dispatch_env_and_validation(self, monkeypatch):
+        monkeypatch.delenv(EXPERIMENT_DISPATCH_ENV_VAR, raising=False)
+        assert resolve_experiment_dispatch(None) == "static"
+        assert resolve_experiment_dispatch("stealing") == "stealing"
+        monkeypatch.setenv(EXPERIMENT_DISPATCH_ENV_VAR, "stealing")
+        assert resolve_experiment_dispatch(None) == "stealing"
+        assert ExperimentScheduler(backend="serial").dispatch == "stealing"
+        with pytest.raises(ValueError, match="dispatch"):
+            resolve_experiment_dispatch("bogus")
+
+    def test_harness_run_identical_under_stealing(self):
+        def result_of(dispatch):
+            harness = ExperimentHarness(cluster=ClusterSpec.paper_cluster(), scale=0.12)
+            result = harness.run(
+                workloads=("PJ",),
+                optimizers=("Baseline", "Stubby"),
+                backend="thread:2",
+                dispatch=dispatch,
+            )
+            return result, harness.last_dispatch_stats
+
+        static, static_stats = result_of("static")
+        stolen, stealing_stats = result_of("stealing")
+        assert stolen.decision_fingerprint() == static.decision_fingerprint()
+        assert static_stats is not None and static_stats.dispatch == "static"
+        assert stealing_stats is not None and stealing_stats.dispatch == "stealing"
+        assert stealing_stats.tasks == static_stats.tasks == 2

@@ -1,0 +1,173 @@
+"""Content-key helpers shared by the decision cache and sub-result catalog.
+
+A leaf module (no ``repro.core`` imports) so both
+:mod:`repro.core.decision_cache` and :mod:`repro.core.subresults` can build
+keys without an import cycle through the transformation registry.  The
+search composes these into full decision keys; the catalog composes them
+into subgraph signatures.  They all return hashable, picklable,
+*content-based* plain tuples — ``hash()`` is only ever used for shard
+placement; equality (and therefore hits) is by content.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional, Tuple
+
+__all__ = [
+    "dataset_annotation_key",
+    "filter_annotation_key",
+    "job_annotations_key",
+    "partition_function_key",
+    "plain_value_key",
+    "rrs_search_key",
+    "transformation_key",
+]
+
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
+
+
+def _env_flag(env_var: str, default: bool) -> bool:
+    raw = os.environ.get(env_var, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in _FALSE_STRINGS
+
+
+def plain_value_key(value) -> Tuple:
+    """A hashable content tuple for an arbitrary annotation/condition value.
+
+    Objects exposing a ``decision_key_content()`` method (e.g. the
+    :class:`~repro.core.subresults.SubResultCatalog` held by the reuse
+    transformation) are keyed by that content tuple rather than ``repr`` —
+    their identity is irrelevant, but their *content* changes which
+    candidates a search can enumerate, so it must move the key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return ("atom", value)
+    if isinstance(value, (tuple, list)):
+        return ("seq",) + tuple(plain_value_key(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted((plain_value_key(item) for item in value), key=repr))
+    if isinstance(value, Mapping):
+        return ("map",) + tuple(
+            sorted(((str(k), plain_value_key(v)) for k, v in value.items()), key=repr)
+        )
+    content = getattr(value, "decision_key_content", None)
+    if callable(content):
+        return ("content", type(value).__name__, content())
+    return ("repr", type(value).__name__, repr(value))
+
+
+def partition_function_key(partitioner) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.mapreduce.partitioner.PartitionFunction`."""
+    if partitioner is None:
+        return None
+    return (
+        partitioner.kind,
+        tuple(partitioner.fields),
+        tuple(partitioner.effective_sort_fields),
+        tuple(partitioner.split_points),
+    )
+
+
+def filter_annotation_key(filter_annotation) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.FilterAnnotation`."""
+    if filter_annotation is None:
+        return None
+    return tuple(
+        sorted(
+            (name, rng.low, rng.high)
+            for name, rng in filter_annotation.ranges.items()
+        )
+    )
+
+
+def schema_annotation_key(schema) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.SchemaAnnotation`."""
+    if schema is None:
+        return None
+    return tuple(
+        None if component is None else tuple(sorted(component))
+        for component in (schema.k1, schema.v1, schema.k2, schema.v2, schema.k3, schema.v3)
+    )
+
+
+def job_annotations_key(annotations) -> Tuple:
+    """Content key of one job's :class:`JobAnnotations`.
+
+    The profile is deliberately *not* re-keyed here: its content already
+    reaches the decision key through the vertex local key
+    (:attr:`~repro.whatif.model._VertexLocalKey.profile_key`).
+    """
+    return (
+        schema_annotation_key(annotations.schema),
+        filter_annotation_key(annotations.filter),
+        tuple(
+            sorted(
+                (name, filter_annotation_key(flt))
+                for name, flt in annotations.per_input_filters.items()
+            )
+        ),
+        partition_function_key(annotations.partition_constraint),
+        tuple(
+            sorted(
+                ((str(name), plain_value_key(value)) for name, value in annotations.conditions.items()),
+                key=repr,
+            )
+        ),
+    )
+
+
+def dataset_annotation_key(annotation) -> Optional[Tuple]:
+    """Content key of a :class:`~repro.workflow.annotations.DatasetAnnotation`."""
+    if annotation is None:
+        return None
+    return (
+        annotation.schema,
+        annotation.partition_kind,
+        annotation.partition_fields,
+        annotation.split_points,
+        annotation.sort_fields,
+        annotation.compressed,
+        annotation.size_bytes,
+        annotation.num_records,
+        tuple(sorted(annotation.field_ranges.items())),
+    )
+
+
+def rrs_search_key(rrs) -> Tuple:
+    """Every knob of a :class:`~repro.core.rrs.RecursiveRandomSearch` that
+    can change which configuration the search returns."""
+    return (
+        rrs.exploration_samples,
+        rrs.exploitation_samples,
+        rrs.initial_radius,
+        rrs.shrink_factor,
+        rrs.min_radius,
+        rrs.restarts,
+        rrs.seed,
+    )
+
+
+def transformation_key(transformation) -> Tuple:
+    """Content key of one transformation instance: name plus every
+    constructor option (e.g. ``HorizontalPacking.allow_extended``).
+
+    A transformation may expose ``decision_key_extra()`` for state that
+    lives outside its instance dict but changes which applications it can
+    find — the sub-result reuse module's global kill switch is the one
+    user.  The classic five transformations define no extra, so their keys
+    are byte-identical to earlier releases and persisted decision files
+    stay valid.
+    """
+    options = tuple(
+        sorted(
+            ((name, plain_value_key(value)) for name, value in vars(transformation).items()),
+            key=repr,
+        )
+    )
+    extra = getattr(transformation, "decision_key_extra", None)
+    if callable(extra):
+        return (transformation.name, options, extra())
+    return (transformation.name, options)

@@ -54,6 +54,20 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cluster import ClusterSpec
+
+# Content-key helpers live in the leaf module ``repro.core.content_keys``
+# (shared with the sub-result catalog); re-exported here because the search
+# and the test suite have always imported them from this module.
+from repro.core.content_keys import (  # noqa: F401  (re-exports)
+    dataset_annotation_key,
+    filter_annotation_key,
+    job_annotations_key,
+    partition_function_key,
+    plain_value_key,
+    rrs_search_key,
+    schema_annotation_key,
+    transformation_key,
+)
 from repro.core.parallel import SideChannel
 from repro.core.transformations.base import TransformationApplication
 from repro.whatif import model as whatif_model
@@ -483,6 +497,15 @@ class DecisionCache:
         """Drop every memoized decision (stats are kept)."""
         self._cache.clear()
 
+    def invalidate_key(self, key: Tuple) -> bool:
+        """Drop one memoized decision; True when it existed.
+
+        Used when a recorded decision turns out to be unreplayable — e.g. it
+        substitutes a sub-result whose catalog entry has since been evicted —
+        so the next lookup runs a fresh search instead of failing again.
+        """
+        return self._cache.discard(key)
+
     @property
     def cache_size(self) -> int:
         """Number of memoized unit decisions."""
@@ -551,128 +574,3 @@ def decision_cache_side_channel(cache: DecisionCache) -> SideChannel:
     )
 
 
-# ---------------------------------------------------------------------------
-# Content-key helpers
-# ---------------------------------------------------------------------------
-#
-# The search composes these into the full decision key.  They all return
-# hashable, picklable, *content-based* plain tuples — `hash()` is only ever
-# used for shard placement; equality (and therefore hits) is by content.
-
-
-def plain_value_key(value) -> Tuple:
-    """A hashable content tuple for an arbitrary annotation/condition value."""
-    if value is None or isinstance(value, (bool, int, float, str, bytes)):
-        return ("atom", value)
-    if isinstance(value, (tuple, list)):
-        return ("seq",) + tuple(plain_value_key(item) for item in value)
-    if isinstance(value, (set, frozenset)):
-        return ("set",) + tuple(sorted((plain_value_key(item) for item in value), key=repr))
-    if isinstance(value, Mapping):
-        return ("map",) + tuple(
-            sorted(((str(k), plain_value_key(v)) for k, v in value.items()), key=repr)
-        )
-    return ("repr", type(value).__name__, repr(value))
-
-
-def partition_function_key(partitioner) -> Optional[Tuple]:
-    """Content key of a :class:`~repro.mapreduce.partitioner.PartitionFunction`."""
-    if partitioner is None:
-        return None
-    return (
-        partitioner.kind,
-        tuple(partitioner.fields),
-        tuple(partitioner.effective_sort_fields),
-        tuple(partitioner.split_points),
-    )
-
-
-def filter_annotation_key(filter_annotation) -> Optional[Tuple]:
-    """Content key of a :class:`~repro.workflow.annotations.FilterAnnotation`."""
-    if filter_annotation is None:
-        return None
-    return tuple(
-        sorted(
-            (name, rng.low, rng.high)
-            for name, rng in filter_annotation.ranges.items()
-        )
-    )
-
-
-def schema_annotation_key(schema) -> Optional[Tuple]:
-    """Content key of a :class:`~repro.workflow.annotations.SchemaAnnotation`."""
-    if schema is None:
-        return None
-    return tuple(
-        None if component is None else tuple(sorted(component))
-        for component in (schema.k1, schema.v1, schema.k2, schema.v2, schema.k3, schema.v3)
-    )
-
-
-def job_annotations_key(annotations) -> Tuple:
-    """Content key of one job's :class:`JobAnnotations`.
-
-    The profile is deliberately *not* re-keyed here: its content already
-    reaches the decision key through the vertex local key
-    (:attr:`~repro.whatif.model._VertexLocalKey.profile_key`).
-    """
-    return (
-        schema_annotation_key(annotations.schema),
-        filter_annotation_key(annotations.filter),
-        tuple(
-            sorted(
-                (name, filter_annotation_key(flt))
-                for name, flt in annotations.per_input_filters.items()
-            )
-        ),
-        partition_function_key(annotations.partition_constraint),
-        tuple(
-            sorted(
-                ((str(name), plain_value_key(value)) for name, value in annotations.conditions.items()),
-                key=repr,
-            )
-        ),
-    )
-
-
-def dataset_annotation_key(annotation) -> Optional[Tuple]:
-    """Content key of a :class:`~repro.workflow.annotations.DatasetAnnotation`."""
-    if annotation is None:
-        return None
-    return (
-        annotation.schema,
-        annotation.partition_kind,
-        annotation.partition_fields,
-        annotation.split_points,
-        annotation.sort_fields,
-        annotation.compressed,
-        annotation.size_bytes,
-        annotation.num_records,
-        tuple(sorted(annotation.field_ranges.items())),
-    )
-
-
-def rrs_search_key(rrs) -> Tuple:
-    """Every knob of a :class:`~repro.core.rrs.RecursiveRandomSearch` that
-    can change which configuration the search returns."""
-    return (
-        rrs.exploration_samples,
-        rrs.exploitation_samples,
-        rrs.initial_radius,
-        rrs.shrink_factor,
-        rrs.min_radius,
-        rrs.restarts,
-        rrs.seed,
-    )
-
-
-def transformation_key(transformation) -> Tuple:
-    """Content key of one transformation instance: name plus every
-    constructor option (e.g. ``HorizontalPacking.allow_extended``)."""
-    options = tuple(
-        sorted(
-            ((name, plain_value_key(value)) for name, value in vars(transformation).items()),
-            key=repr,
-        )
-    )
-    return (transformation.name, options)

@@ -23,11 +23,13 @@ from repro.core.decision_cache import DecisionCache, ensure_decision_cache
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
 from repro.core.search import StubbySearch, UnitReport, plan_decision_fingerprint
+from repro.core.subresults import SubResultCatalog, ensure_subresult_catalog
 from repro.core.transformations import (
     HorizontalPacking,
     InterJobVerticalPacking,
     IntraJobVerticalPacking,
     PartitionFunctionTransformation,
+    SubResultReuseTransformation,
 )
 from repro.workflow.graph import Workflow
 
@@ -91,6 +93,23 @@ class OptimizationResult:
         """Decision hits served by another origin (cell, run, or persisted file)."""
         return sum(report.cross_origin_decision_hits for report in self.unit_reports)
 
+    @property
+    def subresult_reuse_applications(self) -> int:
+        """Reuse rewrites in the optimized plan: producing subgraphs replaced
+        by stored catalog sub-results (exact — counted from the plan history,
+        so search-time candidates that lost the cost arbitration don't show)."""
+        return self.plan.count_applied(SubResultReuseTransformation.name)
+
+    @property
+    def jobs_eliminated_by_reuse(self) -> int:
+        """Jobs the optimized plan no longer runs because a stored sub-result
+        was substituted for their output."""
+        return sum(
+            len(applied.target_jobs)
+            for applied in self.plan.history
+            if applied.transformation == SubResultReuseTransformation.name
+        )
+
 
 class StubbyOptimizer:
     """Cost-based, transformation-based optimizer for MapReduce workflows."""
@@ -110,6 +129,8 @@ class StubbyOptimizer:
         cache_path: Optional[str] = None,
         decision_cache: Optional[DecisionCache] = None,
         decision_cache_path: Optional[str] = None,
+        subresult_catalog: Optional[SubResultCatalog] = None,
+        subresult_catalog_path: Optional[str] = None,
     ) -> None:
         # Phases are validated lazily, when optimize() actually uses them, so
         # an optimizer can be constructed from not-yet-complete configuration
@@ -128,12 +149,22 @@ class StubbyOptimizer:
         self.decisions = ensure_decision_cache(
             cluster, decision_cache, cache_path=decision_cache_path
         )
+        # ``subresult_catalog`` / ``subresult_catalog_path`` wire the
+        # ReStore-style sub-result reuse rewrite (STUBBY_SUBRESULT_CATALOG).
+        # A fresh empty catalog is behaviourally invisible: the reuse
+        # transformation proposes no applications until something registers.
+        self.subresults = ensure_subresult_catalog(
+            cluster, subresult_catalog, cache_path=subresult_catalog_path
+        )
+        reuse = SubResultReuseTransformation(self.subresults)
         vertical = [
+            reuse,
             IntraJobVerticalPacking(),
             InterJobVerticalPacking(),
             PartitionFunctionTransformation(),
         ]
         horizontal = [
+            reuse,
             HorizontalPacking(allow_extended=allow_extended_horizontal),
             PartitionFunctionTransformation(),
         ]

@@ -57,6 +57,7 @@ from repro.core.decision_cache import (
     transformation_key,
 )
 from repro.core.optimization_unit import OptimizationUnit, OptimizationUnitGenerator
+from repro.core.subresults import SubResultUnavailableError
 from repro.core.parallel import BackendSession, ExecutionBackend, resolve_backend
 from repro.core.plan import Plan
 from repro.core.rrs import RecursiveRandomSearch
@@ -300,13 +301,23 @@ class StubbySearch:
             hit = decisions.lookup(key, origin=origin)
             if hit is not None and len(hit[0].choices) == len(subunits):
                 decision, cross_origin = hit
-                replayed = self._replay_decision(plan, subunits, decision, transformations, phase)
-                replayed[1][0].unit_decision_hits = 1
-                if cross_origin:
-                    replayed[1][0].cross_origin_decision_hits = 1
-                if decisions.verify_hits:
-                    self._verify_replay(plan, subunits, transformations, phase, replayed[0])
-                return replayed
+                try:
+                    replayed = self._replay_decision(
+                        plan, subunits, decision, transformations, phase
+                    )
+                except SubResultUnavailableError:
+                    # The recorded chain substitutes a stored sub-result that
+                    # is no longer available (evicted, or its backing records
+                    # were deleted).  Drop the stale decision and fall through
+                    # to a full search — recomputation, never a failed plan.
+                    decisions.invalidate_key(key)
+                else:
+                    replayed[1][0].unit_decision_hits = 1
+                    if cross_origin:
+                        replayed[1][0].cross_origin_decision_hits = 1
+                    if decisions.verify_hits:
+                        self._verify_replay(plan, subunits, transformations, phase, replayed[0])
+                    return replayed
 
         optimized, reports = self._search_units(plan, subunits, transformations, phase)
         if key is not None:
@@ -770,7 +781,14 @@ class StubbySearch:
             for record, unit_jobs in frontier:
                 for transformation in structural:
                     for application in transformation.find_applications(record.plan, unit_jobs):
-                        new_plan = transformation.apply(record.plan, application)
+                        try:
+                            new_plan = transformation.apply(record.plan, application)
+                        except SubResultUnavailableError:
+                            # A concurrent eviction can retract a stored
+                            # sub-result between find_applications and apply;
+                            # the candidate simply disappears and the
+                            # recompute plan stays in the pool.
+                            continue
                         signature = new_plan.signature()
                         if signature in seen:
                             continue

@@ -1,0 +1,807 @@
+"""ReStore-style sub-result catalog: reuse materialized outputs across workflows.
+
+Stubby optimizes each workflow in isolation; under repeated traffic the same
+producing subgraphs — shared ingest prefixes, resubmitted pipelines — are
+recomputed over and over.  *ReStore: Reusing Results of MapReduce Jobs*
+(PAPERS.md) adds the missing lever: keep the materialized intermediate
+datasets of executed plans in a catalog, and rewrite an incoming workflow to
+**read a stored sub-result** instead of recomputing its producing subgraph.
+
+:class:`SubResultCatalog` is that catalog.  Entries map a *subgraph content
+signature* — everything that determines the bytes of a materialized dataset —
+to the stored records and their derived
+:class:`~repro.workflow.annotations.DatasetAnnotation`:
+
+* per producing-cone job: the incremental
+  :meth:`~repro.whatif.model.WhatIfEngine.vertex_content_key`, the full
+  configuration, the effective partition function, the
+  :class:`JobAnnotations` content, and the cone wiring (input/output
+  dataset names);
+* per base dataset feeding the cone: its annotation, logical sizes, and a
+  :func:`~repro.common.hashing.stable_hash` fingerprint of the actual
+  records — same structure over different data must miss;
+* the :class:`~repro.cluster.ClusterSpec` key and
+  :data:`~repro.whatif.model.COST_MODEL_VERSION`.
+
+Change any of these and the signature changes — the catalog misses, never
+serves a result the submitted subgraph would not have produced
+(property-tested in ``tests/test_subresult_catalog.py``).  The rewrite
+itself lives in
+:class:`~repro.core.transformations.reuse.SubResultReuseTransformation`; it
+enters the unit search as a sixth transformation, so reuse is
+**cost-model-arbitrated**: the rewritten candidate is costed by the what-if
+engine like any other and wins only when it is estimated cheaper.
+
+Concurrency, attribution, and persistence mirror
+:class:`~repro.core.decision_cache.DecisionCache` exactly: lock-striped LRU
+shards, atomic stats with thread-local attribution sinks, fork-worker
+export-log/merge-on-join, origin-tagged entries, and a versioned pickle
+snapshot (``STUBBY_SUBRESULT_CATALOG``) written atomically, merged with
+``save_cache(merge_first=True)``, and rejected wholesale on any
+version/cluster mismatch (restricted unpickler included).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.common.hashing import stable_hash
+from repro.core.content_keys import (
+    _env_flag,
+    dataset_annotation_key,
+    job_annotations_key,
+    partition_function_key,
+)
+from repro.core.parallel import SideChannel
+from repro.dfs.dataset import Dataset
+from repro.profiler.profiler import Profiler
+from repro.whatif import model as whatif_model
+from repro.whatif.service import (
+    CacheLoadReport,
+    _RestrictedUnpickler,
+    _ShardedCache,
+    atomic_pickle_write,
+    cluster_cache_key,
+)
+from repro.workflow.annotations import DatasetAnnotation
+from repro.workflow.graph import Workflow
+
+__all__ = [
+    "SUBRESULT_CATALOG_ENABLED_ENV_VAR",
+    "SUBRESULT_CATALOG_FORMAT_VERSION",
+    "SUBRESULT_CATALOG_PATH_ENV_VAR",
+    "SubResultCatalog",
+    "SubResultCatalogStats",
+    "SubResultEntry",
+    "SubResultUnavailableError",
+    "dataset_content_fingerprint",
+    "ensure_subresult_catalog",
+    "producing_cone",
+    "register_workflow_outputs",
+    "resolve_subresult_catalog_path",
+    "subgraph_signature",
+    "subresult_catalog_enabled",
+    "subresult_catalog_side_channel",
+]
+
+#: Default bound on catalog entries; old entries are evicted LRU.  Entries
+#: carry real records, so the default is far below the decision cache's.
+DEFAULT_MAX_SUBRESULTS = 2_000
+
+#: On-disk layout version of persisted catalog files; files written under a
+#: different layout are rejected wholesale.
+SUBRESULT_CATALOG_FORMAT_VERSION = 1
+
+#: Environment variable naming a persisted catalog path — the data-level
+#: sibling of ``STUBBY_COST_CACHE`` / ``STUBBY_DECISION_CACHE``.
+SUBRESULT_CATALOG_PATH_ENV_VAR = "STUBBY_SUBRESULT_CATALOG"
+
+#: Environment kill switch: "0"/"false"/"no"/"off" disables the catalog
+#: everywhere (lookups answer nothing, stores are no-ops).
+SUBRESULT_CATALOG_ENABLED_ENV_VAR = "STUBBY_SUBRESULT_CATALOG_ENABLED"
+
+#: Cap on entries a forked worker ships back on merge-on-join.  Entries
+#: carry records, so the cap is much tighter than the decision cache's.
+MAX_EXPORTED_SUBRESULTS = 200
+
+
+class SubResultUnavailableError(RuntimeError):
+    """A catalog entry referenced by a recorded rewrite is gone or stale.
+
+    Raised by :meth:`SubResultCatalog.fetch` when the entry vanished (LRU
+    eviction, invalidation) or its backing records were deleted.  The search
+    catches it during decision replay and falls back to a full search — a
+    stale catalog degrades to recomputation, never to a failed plan.
+    """
+
+
+def subresult_catalog_enabled(enabled: Optional[bool] = None) -> bool:
+    """Normalize the enable flag: explicit argument, else environment, else on."""
+    if enabled is not None:
+        return enabled
+    return _env_flag(SUBRESULT_CATALOG_ENABLED_ENV_VAR, True)
+
+
+def resolve_subresult_catalog_path(path: Optional[str]) -> Optional[str]:
+    """Normalize a catalog path: explicit path, else the environment.
+
+    ``None`` consults :data:`SUBRESULT_CATALOG_PATH_ENV_VAR`; an empty string
+    (explicit or from the environment) means "no persistence".
+    """
+    if path is not None:
+        return path or None
+    return os.environ.get(SUBRESULT_CATALOG_PATH_ENV_VAR, "").strip() or None
+
+
+@dataclass(frozen=True)
+class SubResultEntry:
+    """One materialized sub-result: the stored dataset plus its provenance.
+
+    ``records is None`` marks a *stale* entry — the signature is still
+    known but the backing data was deleted (:meth:`SubResultCatalog.
+    evict_payload`); the rewrite skips it and the plan recomputes.
+    """
+
+    dataset: str
+    records: Optional[Tuple[Mapping[str, object], ...]]
+    annotation: Optional[DatasetAnnotation]
+    #: Names of the producing-cone jobs at registration time — exactly the
+    #: jobs a reuse rewrite of this entry eliminates.
+    producing_jobs: Tuple[str, ...] = ()
+    #: Scale factor the registered execution ran at; reapplied to the
+    #: substituted dataset so the what-if engine sees paper-scale sizes.
+    scale_factor: float = 1.0
+
+    @property
+    def has_payload(self) -> bool:
+        """Whether the backing records are still available."""
+        return self.records is not None
+
+    def materialize(self) -> Dataset:
+        """Rebuild the stored records as a stageable :class:`Dataset`."""
+        if self.records is None:
+            raise SubResultUnavailableError(
+                f"sub-result for dataset {self.dataset!r} has no backing records"
+            )
+        return Dataset(
+            self.dataset,
+            records=[dict(record) for record in self.records],
+            scale_factor=self.scale_factor,
+        )
+
+
+@dataclass
+class SubResultCatalogStats:
+    """Counters describing catalog traffic.
+
+    ``hits`` counts successful entry fetches — both applicability probes
+    that matched and the fetch performed when a rewrite (or a decision-cache
+    replay of one) is applied.  ``misses`` counts probes that found nothing,
+    ``stale_skips`` probes that matched an entry whose backing records were
+    deleted.  ``cross_origin_hits`` counts the hits served by an entry
+    another origin registered — a different experiment cell, tenant, or a
+    warm-started persisted file: exactly the cross-workflow reuse ReStore is
+    after.  ``jobs_eliminated`` sums the producing-cone jobs removed by
+    applied rewrites.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    cross_origin_hits: int = 0
+    stale_skips: int = 0
+    stores: int = 0
+    jobs_eliminated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Catalog probes performed (hits + misses + stale skips)."""
+        return self.hits + self.misses + self.stale_skips
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered with a usable stored sub-result."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def accumulate(self, delta: "SubResultCatalogStats") -> None:
+        """Add another stats delta into this one, in place."""
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.cross_origin_hits += delta.cross_origin_hits
+        self.stale_skips += delta.stale_skips
+        self.stores += delta.stores
+        self.jobs_eliminated += delta.jobs_eliminated
+
+    def snapshot(self) -> "SubResultCatalogStats":
+        """Immutable copy of the current counters."""
+        return replace(self)
+
+    def since(self, before: "SubResultCatalogStats") -> "SubResultCatalogStats":
+        """Counter delta between this snapshot and an earlier one."""
+        return SubResultCatalogStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            cross_origin_hits=self.cross_origin_hits - before.cross_origin_hits,
+            stale_skips=self.stale_skips - before.stale_skips,
+            stores=self.stores - before.stores,
+            jobs_eliminated=self.jobs_eliminated - before.jobs_eliminated,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cross_origin_hits": self.cross_origin_hits,
+            "stale_skips": self.stale_skips,
+            "stores": self.stores,
+            "jobs_eliminated": self.jobs_eliminated,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SubResultCatalog:
+    """Sharded, LRU, optionally persisted catalog of materialized sub-results.
+
+    One instance is safe to share across search threads, forked workers,
+    experiment cells, and planning-service tenants — the concurrency model
+    is the :class:`~repro.core.decision_cache.DecisionCache` one: lock-striped
+    shards, atomic stats with thread-local attribution sinks, export-log
+    merge-on-join for forked workers, origin-tagged entries.
+
+    ``enabled=False`` (or ``STUBBY_SUBRESULT_CATALOG_ENABLED=0``) turns
+    every lookup into a no-answer and every store into a no-op, so a
+    disabled catalog is behaviourally invisible — the reuse transformation
+    finds no applications and plans are bit-identical to pre-catalog runs.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        max_entries: int = DEFAULT_MAX_SUBRESULTS,
+        enabled: Optional[bool] = None,
+        cache_path: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.enabled = subresult_catalog_enabled(enabled)
+        self.max_entries = max(1, max_entries)
+        self._cache = _ShardedCache(self.max_entries)
+        self.stats = SubResultCatalogStats()
+        self._stats_lock = threading.Lock()
+        self._sinks = threading.local()
+        self._origins = threading.local()
+        #: Monotonic content version; bumped by every mutation so the
+        #: decision-key fingerprint (:meth:`decision_key_content`) can be
+        #: cached between mutations.
+        self._version = 0
+        self._fingerprint_cache: Tuple[int, int] = (-1, 0)
+        #: Append-only log of entries stored since :meth:`start_export_log`;
+        #: enabled only inside forked workers (single-threaded).
+        self._export_log: Optional[List[Tuple[Tuple, SubResultEntry, object]]] = None
+        self.cache_path = cache_path
+        #: Outcome of the constructor's warm-start attempt (``None`` when no
+        #: path was configured or the catalog is disabled).
+        self.last_load: Optional[CacheLoadReport] = None
+        if self.cache_path and self.enabled:
+            self.last_load = self.load_cache(self.cache_path)
+
+    # --------------------------------------------------------------- origins
+    @contextmanager
+    def origin(self, label: Optional[str]):
+        """Attribute this thread's stores and hits to ``label`` while active.
+
+        The catalog-side analogue of ``CostService.origin``: entries are
+        stamped with the registering origin, and a fetch served by an entry
+        from a *different* origin counts as a cross-origin hit — the
+        cross-workflow reuse the benchmark reconciles.
+        """
+        stack = self._origin_stack()
+        stack.append(label)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def current_origin(self) -> Optional[str]:
+        """The innermost active origin label on this thread, if any."""
+        stack = self._origin_stack()
+        return stack[-1] if stack else None
+
+    def _origin_stack(self) -> List[Optional[str]]:
+        stack = getattr(self._origins, "stack", None)
+        if stack is None:
+            stack = []
+            self._origins.stack = stack
+        return stack
+
+    # ------------------------------------------------------------------ API
+    def probe(self, signature: Tuple, origin: Optional[str] = None) -> Optional[SubResultEntry]:
+        """The usable entry for ``signature``, or ``None`` (counts stats).
+
+        A match whose backing records were deleted counts as a
+        ``stale_skip`` and answers ``None`` — the caller recomputes.
+        """
+        if not self.enabled:
+            return None
+        origin = origin if origin is not None else self.current_origin()
+        entry_row = self._cache.lookup(signature)
+        delta = SubResultCatalogStats()
+        if entry_row is None:
+            delta.misses = 1
+            self._apply_delta(delta)
+            return None
+        entry, entry_origin = entry_row
+        if not entry.has_payload:
+            delta.stale_skips = 1
+            self._apply_delta(delta)
+            return None
+        delta.hits = 1
+        if entry_origin != origin:
+            delta.cross_origin_hits = 1
+        self._apply_delta(delta)
+        return entry
+
+    def fetch(self, signature: Tuple, origin: Optional[str] = None) -> SubResultEntry:
+        """The entry an applied rewrite substitutes; raises when unavailable.
+
+        Unlike :meth:`probe`, absence is an error
+        (:class:`SubResultUnavailableError`) — the caller holds a rewrite
+        that references this entry, so the answer must exist or the rewrite
+        must be abandoned (the search falls back to recomputation).
+        """
+        if not self.enabled:
+            raise SubResultUnavailableError("sub-result catalog is disabled")
+        entry = self.probe(signature, origin=origin)
+        if entry is None:
+            raise SubResultUnavailableError(
+                "sub-result entry is missing or its backing records were deleted"
+            )
+        return entry
+
+    def store(
+        self, signature: Tuple, entry: SubResultEntry, origin: Optional[str] = None
+    ) -> None:
+        """Register a materialized sub-result (no-op when disabled)."""
+        if not self.enabled:
+            return
+        origin = origin if origin is not None else self.current_origin()
+        new = self._cache.store(signature, entry, origin)
+        self._bump_version()
+        self._apply_delta(SubResultCatalogStats(stores=1))
+        if new and self._export_log is not None:
+            self._export_log.append((signature, entry, origin))
+
+    def evict_payload(self, signature: Tuple) -> bool:
+        """Drop an entry's backing records, keeping the signature (stale).
+
+        Models the deployment event the fault-injection tests exercise: the
+        materialized dataset was deleted from storage but the catalog row
+        survived.  Returns whether the entry existed.
+        """
+        row = self._cache.lookup(signature)
+        if row is None:
+            return False
+        entry, origin = row
+        self._cache.store(signature, replace(entry, records=None), origin)
+        self._bump_version()
+        return True
+
+    def record_jobs_eliminated(self, count: int) -> None:
+        """Credit ``count`` eliminated jobs to the global and sink counters."""
+        if count:
+            self._apply_delta(SubResultCatalogStats(jobs_eliminated=count))
+
+    # ------------------------------------------------------- decision keying
+    def decision_key_content(self) -> Tuple:
+        """Content fingerprint folded into unit decision keys.
+
+        A memoized unit decision made against this catalog is only valid
+        while the catalog would offer the *same* rewrites, so the decision
+        key must move whenever the catalog's visible content does.  The
+        fingerprint hashes every live signature plus its payload presence;
+        it is cached between mutations (``_version``) so decision keying
+        stays O(1) on the hot path.
+        """
+        if not self.enabled:
+            return ("subresult-catalog", "disabled")
+        version = self._version
+        cached_version, cached_value = self._fingerprint_cache
+        if cached_version != version:
+            material = sorted(
+                str((stable_hash([signature]), entry.has_payload))
+                for rows in self._cache.shard_items()
+                for signature, entry, _origin in rows
+            )
+            cached_value = stable_hash(material)
+            self._fingerprint_cache = (version, cached_value)
+        return ("subresult-catalog", "enabled", cached_value)
+
+    def _bump_version(self) -> None:
+        with self._stats_lock:
+            self._version += 1
+
+    # ------------------------------------------------------- stats plumbing
+    def _apply_delta(self, delta: SubResultCatalogStats) -> None:
+        """Fold a stats delta into the global counters and this thread's sinks."""
+        with self._stats_lock:
+            self.stats.accumulate(delta)
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def _sink_stack(self) -> List[SubResultCatalogStats]:
+        stack = getattr(self._sinks, "stack", None)
+        if stack is None:
+            stack = []
+            self._sinks.stack = stack
+        return stack
+
+    @contextmanager
+    def attribute_to(self, sink: SubResultCatalogStats):
+        """Also credit this thread's probes/stores to ``sink`` while active."""
+        stack = self._sink_stack()
+        stack.append(sink)
+        try:
+            yield sink
+        finally:
+            stack.pop()
+
+    def apply_external_delta(self, delta: SubResultCatalogStats) -> None:
+        """Fold in work performed by a foreign process (merge-on-join)."""
+        self._apply_delta(delta)
+
+    def apply_sink_only_delta(self, delta: SubResultCatalogStats) -> None:
+        """Re-attribute work already counted globally to this thread's sinks."""
+        for sink in self._sink_stack():
+            sink.accumulate(delta)
+
+    def stats_snapshot(self) -> SubResultCatalogStats:
+        """Consistent copy of the global counters."""
+        with self._stats_lock:
+            return self.stats.snapshot()
+
+    # ------------------------------------------------ process merge-on-join
+    def start_export_log(self) -> None:
+        """Begin recording newly stored entries (forked workers only)."""
+        self._export_log = []
+
+    def export_log_entries(self) -> List[Tuple[Tuple, SubResultEntry, object]]:
+        """Drain the export log; freshest :data:`MAX_EXPORTED_SUBRESULTS` win."""
+        log = self._export_log or []
+        self._export_log = None
+        return log[-MAX_EXPORTED_SUBRESULTS:]
+
+    def absorb_entries(self, entries: List[Tuple[Tuple, SubResultEntry, object]]) -> None:
+        """Merge entries exported by a worker (or loaded from disk).
+
+        Signatures are content-based and the registered records are the
+        deterministic output of the signed subgraph, so merging is
+        idempotent and order-independent; entries keep the origin label they
+        were registered under, preserving cross-origin attribution.
+        """
+        for signature, entry, origin in entries:
+            self._cache.store(signature, entry, origin)
+        if entries:
+            self._bump_version()
+
+    # ----------------------------------------------------------- persistence
+    def save_cache(self, path: Optional[str] = None, merge_first: bool = False) -> int:
+        """Persist the catalog to ``path`` (default: ``cache_path``).
+
+        The payload is stamped with the on-disk format version, the cost
+        model version, and the cluster key — a stored sub-result is only
+        valid for the exact signature machinery it was registered under.
+        The write is atomic (temp file + ``os.replace``).  Returns the
+        entry count.
+
+        ``merge_first=True`` re-absorbs the current file (if valid) before
+        writing — the long-lived-service idiom: a replica that restarted
+        cold never shrinks a richer store persisted by another.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no catalog path configured (pass path= or set cache_path)")
+        if merge_first:
+            self.load_cache(path)
+        entries = [
+            (signature, entry, origin)
+            for rows in self._cache.shard_items()
+            for signature, entry, origin in rows
+        ]
+        payload = {
+            "format_version": SUBRESULT_CATALOG_FORMAT_VERSION,
+            # Read through the module so tests monkeypatching the version
+            # see the stamp move.
+            "model_version": whatif_model.COST_MODEL_VERSION,
+            "cluster_key": cluster_cache_key(self.cluster),
+            "entries": entries,
+        }
+        atomic_pickle_write(path, payload)
+        return len(entries)
+
+    def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
+        """Warm-start from a persisted catalog file; never raises on bad input.
+
+        Rejection is quiet and all-or-nothing: missing, corrupt, truncated,
+        or version/cluster-mismatched files contribute nothing — a tampered
+        byte never becomes a served sub-result.
+        """
+        path = path or self.cache_path
+        if not path:
+            raise ValueError("no catalog path configured (pass path= or set cache_path)")
+        if not os.path.exists(path):
+            return CacheLoadReport(loaded=False, reason="no catalog file")
+        try:
+            with open(path, "rb") as handle:
+                payload = _RestrictedUnpickler(handle).load()
+        except Exception as exc:  # corrupt, truncated, or not a pickle at all
+            return CacheLoadReport(
+                loaded=False, reason=f"unreadable catalog file ({type(exc).__name__})"
+            )
+        if not isinstance(payload, dict):
+            return CacheLoadReport(loaded=False, reason="malformed catalog payload")
+        if payload.get("format_version") != SUBRESULT_CATALOG_FORMAT_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"format version mismatch ({payload.get('format_version')!r} "
+                f"!= {SUBRESULT_CATALOG_FORMAT_VERSION!r})",
+            )
+        if payload.get("model_version") != whatif_model.COST_MODEL_VERSION:
+            return CacheLoadReport(
+                loaded=False,
+                reason=f"cost model version mismatch ({payload.get('model_version')!r} "
+                f"!= {whatif_model.COST_MODEL_VERSION!r})",
+            )
+        if payload.get("cluster_key") != cluster_cache_key(self.cluster):
+            return CacheLoadReport(
+                loaded=False, reason="catalog was computed for a different ClusterSpec"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return CacheLoadReport(loaded=False, reason="malformed catalog payload")
+        # Validate every row before absorbing any — all-or-nothing.
+        for row in entries:
+            if not (
+                isinstance(row, tuple)
+                and len(row) == 3
+                and isinstance(row[0], tuple)
+                and isinstance(row[1], SubResultEntry)
+            ):
+                return CacheLoadReport(loaded=False, reason="malformed catalog entries")
+        self.absorb_entries(entries)
+        return CacheLoadReport(loaded=True, entries=len(entries), reason="ok")
+
+    # ----------------------------------------------------------- cache mgmt
+    def invalidate(self) -> None:
+        """Drop every catalog entry (stats are kept)."""
+        self._cache.clear()
+        self._bump_version()
+
+    @property
+    def catalog_size(self) -> int:
+        """Number of registered sub-results."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubResultCatalog(entries={len(self._cache)}, enabled={self.enabled}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+def ensure_subresult_catalog(
+    cluster: ClusterSpec,
+    catalog: Optional[SubResultCatalog] = None,
+    cache_path: Optional[str] = None,
+) -> SubResultCatalog:
+    """Return ``catalog`` if given, else a fresh :class:`SubResultCatalog`.
+
+    The sibling of :func:`~repro.core.decision_cache.ensure_decision_cache`:
+    a shared catalog must have been built for the same cluster — signatures
+    embed the cluster key, so a mismatched catalog would never hit, but
+    sharing one across clusters is almost certainly a wiring bug and fails
+    loudly.  ``cache_path`` applies only when a fresh catalog is
+    constructed (explicit argument, else ``STUBBY_SUBRESULT_CATALOG``).
+    """
+    if catalog is None:
+        return SubResultCatalog(
+            cluster, cache_path=resolve_subresult_catalog_path(cache_path)
+        )
+    if catalog.cluster != cluster:
+        raise ValueError(
+            "sub-result catalog was built for a different ClusterSpec; "
+            "stored sub-results are only valid for the cluster they ran on"
+        )
+    return catalog
+
+
+def subresult_catalog_side_channel(catalog: SubResultCatalog) -> SideChannel:
+    """Wire a :class:`SubResultCatalog` into a backend session's side channel.
+
+    The exact analogue of
+    :func:`~repro.core.decision_cache.decision_cache_side_channel`: thread
+    workers re-attribute their stats delta to the calling thread's sinks,
+    forked workers export their privately registered entries and full stats
+    delta for merge-on-join.
+    """
+
+    def chunk_begin():
+        sink = SubResultCatalogStats()
+        catalog._sink_stack().append(sink)
+        return sink
+
+    def chunk_end(sink) -> SubResultCatalogStats:
+        catalog._sink_stack().pop()
+        return sink
+
+    return SideChannel(
+        worker_init=catalog.start_export_log,
+        chunk_begin=chunk_begin,
+        chunk_end=chunk_end,
+        chunk_absorb_shared=catalog.apply_sink_only_delta,
+        chunk_absorb_foreign=catalog.apply_external_delta,
+        final_export=catalog.export_log_entries,
+        final_absorb=catalog.absorb_entries,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subgraph signatures
+# ---------------------------------------------------------------------------
+
+
+def dataset_content_fingerprint(dataset: Optional[Dataset]) -> Optional[int]:
+    """Order-independent :func:`stable_hash` of a dataset's actual records.
+
+    Base-data content reaches the what-if engine only through profiles and
+    annotations, but a stored *sub-result* is a function of the bytes
+    themselves — two structurally identical subgraphs over different base
+    records must never share an entry, so the signature hashes the records.
+    """
+    if dataset is None:
+        return None
+    return stable_hash(sorted(str(sorted(record.items())) for record in dataset.records()))
+
+
+def producing_cone(
+    workflow: Workflow, dataset_name: str
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """The jobs ``dataset_name`` transitively depends on, plus the base inputs.
+
+    Returns ``(cone_job_names, base_dataset_names)``, both sorted.  An empty
+    cone means the dataset is a workflow input (no producer).
+    """
+    producer = workflow.producer_of(dataset_name)
+    if producer is None:
+        return (), (dataset_name,)
+    cone: Dict[str, object] = {}
+    bases: Dict[str, None] = {}
+    frontier = [producer]
+    while frontier:
+        vertex = frontier.pop()
+        if vertex.name in cone:
+            continue
+        cone[vertex.name] = vertex
+        for input_name in vertex.job.input_datasets:
+            upstream = workflow.producer_of(input_name)
+            if upstream is None:
+                bases[input_name] = None
+            elif upstream.name not in cone:
+                frontier.append(upstream)
+    return tuple(sorted(cone)), tuple(sorted(bases))
+
+
+def subgraph_signature(
+    workflow: Workflow,
+    dataset_name: str,
+    cluster: ClusterSpec,
+    engine: Optional[whatif_model.WhatIfEngine] = None,
+) -> Tuple:
+    """Content signature of ``dataset_name``'s producing subgraph.
+
+    Pins everything that determines the materialized bytes: per cone job
+    the vertex content key, configuration, effective partition function,
+    job annotations, and wiring; per feeding base dataset the annotation,
+    logical sizes, and a record-content fingerprint; plus the cluster key
+    and cost-model version.  Equal signatures produce byte-equal datasets
+    by construction; any input change produces a catalog miss.
+    """
+    engine = engine or whatif_model.WhatIfEngine(cluster)
+    cone_jobs, base_inputs = producing_cone(workflow, dataset_name)
+    job_parts = []
+    touched_datasets: Dict[str, None] = {}
+    for job_name in cone_jobs:
+        vertex = workflow.job(job_name)
+        job = vertex.job
+        for name in job.input_datasets + job.output_datasets:
+            touched_datasets[name] = None
+        job_parts.append(
+            (
+                job_name,
+                engine.vertex_content_key(vertex),
+                tuple(sorted(job.config.as_dict().items())),
+                partition_function_key(job.effective_partitioner),
+                job_annotations_key(vertex.annotations),
+                tuple(job.input_datasets),
+                tuple(job.output_datasets),
+            )
+        )
+    base_parts = []
+    for name in base_inputs:
+        vertex = workflow.dataset(name) if workflow.has_dataset(name) else None
+        dataset = vertex.dataset if vertex is not None else None
+        base_parts.append(
+            (
+                name,
+                dataset_annotation_key(vertex.annotation if vertex is not None else None),
+                None if dataset is None else (dataset.logical_bytes, dataset.logical_records),
+                dataset_content_fingerprint(dataset),
+            )
+        )
+    annotation_parts = tuple(
+        (name, dataset_annotation_key(workflow.dataset(name).annotation))
+        for name in sorted(touched_datasets)
+        if workflow.has_dataset(name)
+    )
+    return (
+        "subresult",
+        dataset_name,
+        tuple(job_parts),
+        tuple(base_parts),
+        annotation_parts,
+        whatif_model.COST_MODEL_VERSION,
+        cluster_cache_key(cluster),
+    )
+
+
+def register_workflow_outputs(
+    catalog: SubResultCatalog,
+    workflow: Workflow,
+    outputs: Mapping[str, Sequence[Mapping[str, object]]],
+    origin: Optional[str] = None,
+    scale_factor: float = 1.0,
+    profiler: Optional[Profiler] = None,
+) -> int:
+    """Register an executed workflow's intermediate datasets in the catalog.
+
+    ``outputs`` maps dataset names to their materialized records (e.g. the
+    union of a :class:`~repro.workflow.executor.WorkflowExecutionResult`'s
+    ``job_outputs``).  Only *intermediate* datasets — produced by a job
+    **and** consumed by another — are registered: terminal datasets are the
+    workflow's answer, and substituting a terminal's producer away would
+    change which jobs emit the compared outputs (the differential battery
+    compares per-job outputs, and so does the real DFS layout).
+
+    Returns the number of entries registered.  A no-op when the catalog is
+    disabled.
+    """
+    if not catalog.enabled:
+        return 0
+    engine = whatif_model.WhatIfEngine(catalog.cluster)
+    annotate = (profiler or Profiler()).annotate_dataset
+    registered = 0
+    for vertex in workflow.datasets:
+        name = vertex.name
+        if workflow.producer_of(name) is None or not workflow.consumers_of(name):
+            continue
+        records = outputs.get(name)
+        if records is None:
+            continue
+        signature = subgraph_signature(workflow, name, catalog.cluster, engine=engine)
+        cone_jobs, _bases = producing_cone(workflow, name)
+        dataset = Dataset(name, records=[dict(r) for r in records], scale_factor=scale_factor)
+        entry = SubResultEntry(
+            dataset=name,
+            records=tuple(dict(r) for r in records),
+            annotation=annotate(dataset),
+            producing_jobs=cone_jobs,
+            scale_factor=scale_factor,
+        )
+        catalog.store(signature, entry, origin=origin)
+        registered += 1
+    return registered

@@ -1,4 +1,5 @@
-"""The five transformation types that define Stubby's plan space (paper §3)."""
+"""The five transformation types that define Stubby's plan space (paper §3),
+plus the ReStore-style sub-result reuse rewrite (docs/reuse.md)."""
 
 from repro.core.transformations.base import (
     Transformation,
@@ -10,6 +11,11 @@ from repro.core.transformations.inter_vertical import InterJobVerticalPacking
 from repro.core.transformations.horizontal import HorizontalPacking
 from repro.core.transformations.partition_function import PartitionFunctionTransformation
 from repro.core.transformations.configuration import ConfigurationTransformation
+from repro.core.transformations.reuse import (
+    SubResultReuseTransformation,
+    set_subresult_reuse_enabled,
+    subresult_reuse_enabled,
+)
 
 VERTICAL_GROUP = (
     IntraJobVerticalPacking,
@@ -30,6 +36,9 @@ __all__ = [
     "HorizontalPacking",
     "PartitionFunctionTransformation",
     "ConfigurationTransformation",
+    "SubResultReuseTransformation",
+    "set_subresult_reuse_enabled",
+    "subresult_reuse_enabled",
     "VERTICAL_GROUP",
     "HORIZONTAL_GROUP",
 ]

@@ -54,6 +54,12 @@ from repro.core.decision_cache import (
 )
 from repro.core.optimizer import OptimizationResult, StubbyOptimizer
 from repro.core.search import StubbySearch, UnitReport
+from repro.core.subresults import (
+    SubResultCatalog,
+    SubResultCatalogStats,
+    register_workflow_outputs,
+    resolve_subresult_catalog_path,
+)
 from repro.core.transformations import (
     HorizontalPacking,
     InterJobVerticalPacking,
@@ -106,6 +112,16 @@ class OptimizerRun:
     unit_decision_hits: int = 0
     unit_decision_misses: int = 0
     cross_origin_decision_hits: int = 0
+    #: Sub-result reuse activity of this run: rewrites recorded in the final
+    #: plan, jobs those rewrites eliminated, and the cell's exact catalog
+    #: counter delta (per-cell attribution sink, like ``cost_stats``).
+    #: ``cross_origin_subresult_hits`` counts catalog hits served by entries
+    #: another cell/run registered — the cross-workflow reuse the ReStore
+    #: design exists for.
+    subresult_reuse_applications: int = 0
+    jobs_eliminated_by_reuse: int = 0
+    cross_origin_subresult_hits: int = 0
+    subresult_stats: Optional[SubResultCatalogStats] = None
 
     def speedup_over(self, baseline: "OptimizerRun") -> float:
         """Speedup of this run's actual runtime over the baseline's."""
@@ -188,6 +204,10 @@ class ExperimentRunResult:
     decision_stats: DecisionCacheStats = field(default_factory=DecisionCacheStats)
     #: The persisted decision-cache path in effect, or ``None``.
     decision_cache_path: Optional[str] = None
+    #: Sub-result catalog counter delta over the whole run (all cells).
+    subresult_stats: SubResultCatalogStats = field(default_factory=SubResultCatalogStats)
+    #: The persisted sub-result catalog path in effect, or ``None``.
+    subresult_catalog_path: Optional[str] = None
 
     @property
     def wall_s(self) -> float:
@@ -217,6 +237,24 @@ class ExperimentRunResult:
         """Decision hits served across cell (or run) boundaries, all cells."""
         return sum(
             run.cross_origin_decision_hits
+            for comparison in self.comparisons.values()
+            for run in comparison.runs.values()
+        )
+
+    @property
+    def subresult_reuse_applications(self) -> int:
+        """Sub-result reuse rewrites across every cell's final plan."""
+        return sum(
+            run.subresult_reuse_applications
+            for comparison in self.comparisons.values()
+            for run in comparison.runs.values()
+        )
+
+    @property
+    def jobs_eliminated_by_reuse(self) -> int:
+        """Jobs the run's plans no longer execute thanks to stored sub-results."""
+        return sum(
+            run.jobs_eliminated_by_reuse
             for comparison in self.comparisons.values()
             for run in comparison.runs.values()
         )
@@ -266,6 +304,7 @@ class ExperimentHarness:
         experiment_backend=None,
         cache_path: Optional[str] = None,
         decision_cache_path: Optional[str] = None,
+        subresult_catalog_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.paper_cluster()
         self.scale = scale
@@ -296,6 +335,19 @@ class ExperimentHarness:
         #: a unit solved by one cell is replayed, not re-searched, by every
         #: later cell that meets the same content (cross-origin attributed).
         self.decisions = DecisionCache(self.cluster, cache_path=self.decision_cache_path)
+        #: Persisted sub-result catalog path (explicit argument, else the
+        #: STUBBY_SUBRESULT_CATALOG environment variable, else no persistence).
+        self.subresult_catalog_path = resolve_subresult_catalog_path(subresult_catalog_path)
+        #: One sub-result catalog shared by every Stubby-variant optimizer the
+        #: harness builds — an intermediate registered by (or for) one cell is
+        #: reusable by every later cell that meets the same producing-subgraph
+        #: content, with origin-tagged attribution like the cost service's.
+        #: Empty unless something registers (see
+        #: :meth:`register_workload_subresults`), so default harness behaviour
+        #: is byte-identical to a harness without a catalog.
+        self.subresults = SubResultCatalog(
+            self.cluster, cache_path=self.subresult_catalog_path
+        )
         #: Dispatch accounting of the most recent :meth:`run` (None before).
         self.last_dispatch_stats = None
 
@@ -314,19 +366,23 @@ class ExperimentHarness:
         """
         seeded = {} if seed is None else {"seed": seed}
         shared = {"cost_service": self.costs, "decision_cache": self.decisions}
+        # Only the Stubby variants know the reuse transformation; the
+        # baselines take no catalog (and must not — their plans are the
+        # recompute reference the reuse rewrite is arbitrated against).
+        stubby = {**shared, "subresult_catalog": self.subresults}
         if name == "Baseline":
             return PigBaselineOptimizer(self.cluster, **shared)
         if name == "Stubby":
             return StubbyOptimizer(
-                self.cluster, backend=self.search_backend, **shared, **seeded
+                self.cluster, backend=self.search_backend, **stubby, **seeded
             )
         if name == "Vertical":
             return StubbyOptimizer.vertical_only(
-                self.cluster, backend=self.search_backend, **shared, **seeded
+                self.cluster, backend=self.search_backend, **stubby, **seeded
             )
         if name == "Horizontal":
             return StubbyOptimizer.horizontal_only(
-                self.cluster, backend=self.search_backend, **shared, **seeded
+                self.cluster, backend=self.search_backend, **stubby, **seeded
             )
         if name == "Starfish":
             return StarfishOptimizer(self.cluster, **shared, **seeded)
@@ -427,12 +483,16 @@ class ExperimentHarness:
             return self._run_cell(cell, workload, reference_outputs, run_token)
 
         decisions_before = self.decisions.stats_snapshot()
+        subresults_before = self.subresults.stats_snapshot()
         with StatsWindow(self.costs) as window:
             cells_started = time.perf_counter()
-            runs = scheduler.map_cells(cells, run_cell, self.costs, self.decisions)
+            runs = scheduler.map_cells(
+                cells, run_cell, self.costs, self.decisions, self.subresults
+            )
             cells_s = time.perf_counter() - cells_started
         self.last_dispatch_stats = scheduler.last_dispatch_stats
         decision_stats = self.decisions.stats_snapshot().since(decisions_before)
+        subresult_stats = self.subresults.stats_snapshot().since(subresults_before)
 
         comparisons: Dict[str, WorkloadComparison] = {}
         for cell, run in zip(cells, runs):
@@ -451,6 +511,8 @@ class ExperimentHarness:
             self.costs.save_cache()
         if persist and self.decision_cache_path:
             self.decisions.save_cache()
+        if persist and self.subresult_catalog_path:
+            self.subresults.save_cache(merge_first=True)
 
         return ExperimentRunResult(
             comparisons=comparisons,
@@ -468,6 +530,8 @@ class ExperimentHarness:
             cache_path=self.cache_path,
             decision_stats=decision_stats,
             decision_cache_path=self.decision_cache_path,
+            subresult_stats=subresult_stats,
+            subresult_catalog_path=self.subresult_catalog_path,
         )
 
     def _run_cell(
@@ -488,9 +552,17 @@ class ExperimentHarness:
         """
         optimizer = self.make_optimizer(cell.optimizer, seed=cell.seed)
         sink = CostServiceStats()
-        with self.costs.origin(f"{run_token}:{cell.label}"), self.costs.attribute_to(sink):
+        subresult_sink = SubResultCatalogStats()
+        label = f"{run_token}:{cell.label}"
+        with self.costs.origin(label), self.costs.attribute_to(sink), \
+                self.subresults.origin(label), self.subresults.attribute_to(subresult_sink):
             result = optimizer.optimize(workload.plan)
             run = self._evaluate(result, workload, reference_outputs)
+            # Credit eliminated jobs from the *final* plan only — apply()
+            # also runs for candidates that lose the cost arbitration, so
+            # the catalog counter must not be bumped there.
+            if result.jobs_eliminated_by_reuse:
+                self.subresults.record_jobs_eliminated(result.jobs_eliminated_by_reuse)
         # The OptimizationResult's own stats window read the *global*
         # counters, which concurrent cells pollute; the sink is exact.
         run.whatif_queries = sink.queries
@@ -498,6 +570,8 @@ class ExperimentHarness:
         run.cache_hit_rate = sink.cache_hit_rate
         run.cross_unit_hits = sink.cross_origin_hits
         run.cost_stats = sink
+        run.cross_origin_subresult_hits = subresult_sink.cross_origin_hits
+        run.subresult_stats = subresult_sink
         return run
 
     def persist_cache(self) -> int:
@@ -509,6 +583,44 @@ class ExperimentHarness:
         if not self.cache_path:
             return 0
         return self.costs.save_cache()
+
+    def register_workload_subresults(
+        self,
+        abbreviation: Optional[str] = None,
+        workload: Optional[Workload] = None,
+        origin: Optional[str] = None,
+    ) -> int:
+        """Execute a workload unoptimized and register its intermediates.
+
+        This is the explicit ReStore-style warm-up: the workload's
+        *unoptimized* workflow runs once with per-job output collection, and
+        every intermediate dataset (produced **and** consumed inside the
+        workflow) lands in the harness's shared :class:`SubResultCatalog`
+        under its producing-subgraph content signature.  Later
+        :meth:`compare`/:meth:`run` cells whose workflows contain a
+        signature-equal subgraph are then free to reuse the stored bytes
+        instead of recomputing — arbitrated by the cost model like every
+        other transformation.  Registration is deliberately opt-in:
+        reference executions never register implicitly, so existing
+        experiment numbers are untouched unless a caller asks for reuse.
+
+        Returns the number of catalog entries registered.
+        """
+        workload = workload or self.prepare_workload(abbreviation)
+        execution, _ = self.executor.execute(
+            workload.workflow.copy(),
+            base_datasets=workload.base_datasets,
+            collect_outputs=True,
+        )
+        outputs: Dict[str, list] = {}
+        for job_outputs in execution.job_outputs.values():
+            outputs.update(job_outputs)
+        return register_workflow_outputs(
+            self.subresults,
+            workload.workflow,
+            outputs,
+            origin=origin or f"warmup:{workload.abbreviation}",
+        )
 
     def _reference_outputs(self, workload: Workload) -> Dict[str, list]:
         execution, filesystem = self.executor.execute(
@@ -552,6 +664,8 @@ class ExperimentHarness:
             unit_decision_hits=result.unit_decision_hits,
             unit_decision_misses=result.unit_decision_misses,
             cross_origin_decision_hits=result.cross_origin_decision_hits,
+            subresult_reuse_applications=result.subresult_reuse_applications,
+            jobs_eliminated_by_reuse=result.jobs_eliminated_by_reuse,
         )
 
     # ---------------------------------------------------------- deep dives

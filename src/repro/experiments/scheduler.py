@@ -44,6 +44,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.common.hashing import stable_hash
 from repro.core.costing import cost_service_side_channel
 from repro.core.decision_cache import DecisionCache, decision_cache_side_channel
+from repro.core.subresults import SubResultCatalog, subresult_catalog_side_channel
 from repro.core.parallel import (
     DISPATCH_KINDS,
     DispatchStats,
@@ -169,6 +170,7 @@ class ExperimentScheduler:
         run_cell: Callable[[ExperimentCell], object],
         cost_service: Optional[CostService] = None,
         decision_cache: Optional[DecisionCache] = None,
+        subresult_catalog: Optional[SubResultCatalog] = None,
         cell_costs: Optional[Sequence[float]] = None,
     ) -> List[object]:
         """Run every cell and return its results in cell order.
@@ -181,7 +183,8 @@ class ExperimentScheduler:
         merge back into the shared service; a ``decision_cache`` composes
         its own channel in the same way (forked cells export newly recorded
         decisions for merge-on-join, so one cell's solved units replay in
-        every later run).
+        every later run), and so does a ``subresult_catalog`` (sub-results a
+        forked cell registers become reusable by every later cell).
 
         Cells are heterogeneous — a Baseline cell costs a fraction of a
         Stubby cell on a wide workload — so the scheduler supports
@@ -196,6 +199,11 @@ class ExperimentScheduler:
             (
                 decision_cache_side_channel(decision_cache)
                 if decision_cache is not None and decision_cache.enabled
+                else None
+            ),
+            (
+                subresult_catalog_side_channel(subresult_catalog)
+                if subresult_catalog is not None and subresult_catalog.enabled
                 else None
             ),
         ]

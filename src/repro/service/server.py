@@ -46,6 +46,13 @@ from repro.core.decision_cache import (
     ensure_decision_cache,
 )
 from repro.core.optimizer import OptimizationResult, StubbyOptimizer
+from repro.core.subresults import (
+    SubResultCatalog,
+    SubResultCatalogStats,
+    ensure_subresult_catalog,
+    register_workflow_outputs,
+    subresult_catalog_side_channel,
+)
 from repro.core.parallel import (
     DispatchStats,
     ExecutionBackend,
@@ -78,16 +85,20 @@ def build_variant(
     seed: int,
     cost_service: Optional[CostService] = None,
     decision_cache: Optional[DecisionCache] = None,
+    subresult_catalog: Optional[SubResultCatalog] = None,
     backend=None,
 ):
     """Instantiate one optimizer variant over (optionally shared) caches."""
     shared = {"cost_service": cost_service, "decision_cache": decision_cache}
+    # Only the Stubby variants carry the reuse rewrite; Baseline is the
+    # recompute reference and never sees the catalog.
+    stubby = {**shared, "subresult_catalog": subresult_catalog}
     if name == "Stubby":
-        return StubbyOptimizer(cluster, seed=seed, backend=backend, **shared)
+        return StubbyOptimizer(cluster, seed=seed, backend=backend, **stubby)
     if name == "Vertical":
-        return StubbyOptimizer.vertical_only(cluster, seed=seed, backend=backend, **shared)
+        return StubbyOptimizer.vertical_only(cluster, seed=seed, backend=backend, **stubby)
     if name == "Horizontal":
-        return StubbyOptimizer.horizontal_only(cluster, seed=seed, backend=backend, **shared)
+        return StubbyOptimizer.horizontal_only(cluster, seed=seed, backend=backend, **stubby)
     if name == "Baseline":
         # Imported here: repro.baselines imports OptimizationResult from the
         # optimizer module this module also imports.
@@ -98,17 +109,31 @@ def build_variant(
 
 
 def cold_optimize(
-    cluster: ClusterSpec, plan: Plan, optimizer: str = "Stubby", seed: int = 17
+    cluster: ClusterSpec,
+    plan: Plan,
+    optimizer: str = "Stubby",
+    seed: int = 17,
+    subresult_catalog: Optional[SubResultCatalog] = None,
 ) -> OptimizationResult:
     """The oracle: a cold, serial, in-process run of the requested variant.
 
     Fresh caches (nothing persisted, nothing shared), serial backend —
-    the baseline every server answer must be bit-identical to.
+    the baseline every server answer must be bit-identical to.  A stored
+    sub-result legitimately changes which plan is optimal, so a server
+    whose catalog has registrations is compared against an oracle handed an
+    equal-content ``subresult_catalog``; without one the oracle runs with a
+    fresh empty catalog, which is behaviourally invisible.
     """
     costs = CostService(cluster)
     decisions = DecisionCache(cluster)
     variant = build_variant(
-        optimizer, cluster, seed, cost_service=costs, decision_cache=decisions, backend="serial"
+        optimizer,
+        cluster,
+        seed,
+        cost_service=costs,
+        decision_cache=decisions,
+        subresult_catalog=subresult_catalog,
+        backend="serial",
     )
     return variant.optimize(plan.copy())
 
@@ -151,10 +176,16 @@ class PlanResponse:
     unit_decision_hits: int = 0
     unit_decision_misses: int = 0
     cross_origin_decision_hits: int = 0
+    #: Sub-result reuse recorded in the served plan (rewrites and the jobs
+    #: they eliminated) plus this tenant's cross-origin catalog hits.
+    subresult_reuse_applications: int = 0
+    jobs_eliminated_by_reuse: int = 0
     #: Exact cost-service delta this request produced (its attribution sink).
     cost_stats: Optional[CostServiceStats] = None
     #: Exact decision-cache delta this request produced.
     decision_stats: Optional[DecisionCacheStats] = None
+    #: Exact sub-result catalog delta this request produced.
+    subresult_stats: Optional[SubResultCatalogStats] = None
 
     def identity(self) -> Tuple:
         """The triple compared against :func:`oracle_fingerprint`."""
@@ -203,10 +234,20 @@ class PlanningServer:
         decision_cache: Optional[DecisionCache] = None,
         cache_path: Optional[str] = None,
         decision_cache_path: Optional[str] = None,
+        subresult_catalog: Optional[SubResultCatalog] = None,
+        subresult_catalog_path: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.costs = ensure_cost_service(cluster, cost_service, cache_path=cache_path)
         self.decisions = ensure_decision_cache(cluster, decision_cache, cache_path=decision_cache_path)
+        #: Shared sub-result catalog: tenants report executed outputs through
+        #: :meth:`register_execution`, and subsequent plans (any tenant) may
+        #: reuse the stored bytes instead of recomputing — the ReStore story
+        #: served multi-tenant.  Warm-starts from ``subresult_catalog_path``
+        #: (or STUBBY_SUBRESULT_CATALOG) and merge-persists on :meth:`stop`.
+        self.subresults = ensure_subresult_catalog(
+            cluster, subresult_catalog, cache_path=subresult_catalog_path
+        )
         self.backend: ExecutionBackend = (
             pool if isinstance(pool, ExecutionBackend) else create_backend(pool)
         )
@@ -250,6 +291,35 @@ class PlanningServer:
     @property
     def workloads(self) -> Tuple[str, ...]:
         return tuple(sorted(self._registry))
+
+    def register_execution(
+        self,
+        workload: str,
+        outputs,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """Register a tenant's executed outputs as reusable sub-results.
+
+        ``outputs`` maps dataset names to their materialized records (the
+        union of an execution result's per-job ``job_outputs``).  Every
+        intermediate dataset of the named workload present in ``outputs``
+        is stored under its producing-subgraph content signature,
+        origin-tagged ``tenant:<id>`` so other tenants' reuse of it shows up
+        as ``cross_origin_hits`` in their attribution.  Returns the number
+        of catalog entries registered.
+
+        Visibility mirrors the cache side-channel: thread/serial pools see
+        new entries immediately; a forked process pool's workers see them
+        after the next pool recycle or :meth:`restart` (the registration
+        lands in the parent, and workers re-fork from it).
+        """
+        plan = self._registry.get(workload)
+        if plan is None:
+            raise KeyError(f"unknown workload {workload!r}")
+        origin = f"tenant:{tenant}" if tenant is not None else f"execution:{workload}"
+        return register_workflow_outputs(
+            self.subresults, plan.workflow, outputs, origin=origin
+        )
 
     # ------------------------------------------------------------- lifecycle
     async def start(self, serve: bool = True) -> "PlanningServer":
@@ -298,6 +368,8 @@ class PlanningServer:
                 self.costs.save_cache(merge_first=True)
             if self.decisions.cache_path and self.decisions.enabled:
                 self.decisions.save_cache(merge_first=True)
+            if self.subresults.cache_path and self.subresults.enabled:
+                self.subresults.save_cache(merge_first=True)
 
     async def restart(self, persist: bool = True) -> "PlanningServer":
         """Stop (merging worker caches) and start again, warm.
@@ -382,6 +454,11 @@ class PlanningServer:
                     if self.decisions.enabled
                     else None
                 ),
+                (
+                    subresult_catalog_side_channel(self.subresults)
+                    if self.subresults.enabled
+                    else None
+                ),
             )
             self._session = self.backend.session(
                 self._execute, side, dispatch=self.dispatch
@@ -436,6 +513,7 @@ class PlanningServer:
         started = time.perf_counter()
         cost_sink = CostServiceStats()
         decision_sink = DecisionCacheStats()
+        subresult_sink = SubResultCatalogStats()
         try:
             plan = self._registry[workload]
             variant = build_variant(
@@ -444,12 +522,21 @@ class PlanningServer:
                 seed,
                 cost_service=self.costs,
                 decision_cache=self.decisions,
+                subresult_catalog=self.subresults,
                 backend="serial",
             )
-            with self.costs.origin(f"tenant:{tenant}"):
+            with self.costs.origin(f"tenant:{tenant}"), self.subresults.origin(f"tenant:{tenant}"):
                 with self.costs.attribute_to(cost_sink):
                     with self.decisions.attribute_to(decision_sink):
-                        result = variant.optimize(plan.copy())
+                        with self.subresults.attribute_to(subresult_sink):
+                            result = variant.optimize(plan.copy())
+                            # Jobs the served plan no longer runs — credited
+                            # from the final plan only (candidates that lost
+                            # the arbitration must not count).
+                            if result.jobs_eliminated_by_reuse:
+                                self.subresults.record_jobs_eliminated(
+                                    result.jobs_eliminated_by_reuse
+                                )
         except Exception:
             return (
                 "error",
@@ -458,6 +545,7 @@ class PlanningServer:
                 time.perf_counter() - started,
                 cost_sink,
                 decision_sink,
+                subresult_sink,
             )
         return (
             "ok",
@@ -467,10 +555,13 @@ class PlanningServer:
             result.unit_decision_hits,
             result.unit_decision_misses,
             result.cross_origin_decision_hits,
+            result.subresult_reuse_applications,
+            result.jobs_eliminated_by_reuse,
             os.getpid(),
             time.perf_counter() - started,
             cost_sink,
             decision_sink,
+            subresult_sink,
         )
 
     # ------------------------------------------------------------ resolution
@@ -478,7 +569,7 @@ class PlanningServer:
         request = ticket.request
         now = time.perf_counter()
         if raw[0] == "error":
-            _tag, error, pid, service_s, cost_sink, decision_sink = raw
+            _tag, error, pid, service_s, cost_sink, decision_sink, subresult_sink = raw
             response = PlanResponse(
                 tenant=request.tenant,
                 workload=request.workload,
@@ -492,6 +583,7 @@ class PlanningServer:
                 latency_s=now - ticket.enqueued,
                 cost_stats=cost_sink,
                 decision_stats=decision_sink,
+                subresult_stats=subresult_sink,
             )
         else:
             (
@@ -502,10 +594,13 @@ class PlanningServer:
                 decision_hits,
                 decision_misses,
                 cross_origin,
+                reuse_applications,
+                jobs_eliminated,
                 pid,
                 service_s,
                 cost_sink,
                 decision_sink,
+                subresult_sink,
             ) = raw
             response = PlanResponse(
                 tenant=request.tenant,
@@ -523,8 +618,11 @@ class PlanningServer:
                 unit_decision_hits=decision_hits,
                 unit_decision_misses=decision_misses,
                 cross_origin_decision_hits=cross_origin,
+                subresult_reuse_applications=reuse_applications,
+                jobs_eliminated_by_reuse=jobs_eliminated,
                 cost_stats=cost_sink,
                 decision_stats=decision_sink,
+                subresult_stats=subresult_sink,
             )
         # The tenant's ledger sees every executed request — cancelled or not;
         # the work happened, so the attribution invariant must include it.
@@ -536,6 +634,7 @@ class PlanningServer:
             cost_delta=response.cost_stats,
             decision_delta=response.decision_stats,
             ok=response.ok,
+            subresult_delta=response.subresult_stats,
         )
         self._deliver(ticket, response)
 

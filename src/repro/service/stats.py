@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.decision_cache import DecisionCacheStats
+from repro.core.subresults import SubResultCatalogStats
 from repro.whatif.service import CostServiceStats
 
 __all__ = ["ServiceStats", "TenantStats", "percentile"]
@@ -63,6 +64,10 @@ class TenantStats:
     cost_stats: CostServiceStats = field(default_factory=CostServiceStats)
     #: Exact decision-cache activity attributed to this tenant's requests.
     decision_stats: DecisionCacheStats = field(default_factory=DecisionCacheStats)
+    #: Exact sub-result catalog activity attributed to this tenant's
+    #: requests; ``cross_origin_hits`` here measures plans served from
+    #: sub-results another tenant's executions registered.
+    subresult_stats: SubResultCatalogStats = field(default_factory=SubResultCatalogStats)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -90,6 +95,7 @@ class TenantStats:
             "decision_hit_rate": self.decision_hit_rate,
             "cost_stats": self.cost_stats.as_dict(),
             "decision_stats": self.decision_stats.as_dict(),
+            "subresult_stats": self.subresult_stats.as_dict(),
         }
 
 
@@ -131,6 +137,7 @@ class ServiceStats:
         cost_delta: Optional[CostServiceStats],
         decision_delta: Optional[DecisionCacheStats],
         ok: bool = True,
+        subresult_delta: Optional[SubResultCatalogStats] = None,
     ) -> None:
         """Fold one finished request's exact deltas into its tenant's row."""
         stats = self.tenant(tenant)
@@ -146,6 +153,8 @@ class ServiceStats:
                 stats.cost_stats.accumulate(cost_delta)
             if decision_delta is not None:
                 stats.decision_stats.accumulate(decision_delta)
+            if subresult_delta is not None:
+                stats.subresult_stats.accumulate(subresult_delta)
 
     # ------------------------------------------------------------- roll-ups
     def total_cost_stats(self) -> CostServiceStats:
@@ -168,6 +177,14 @@ class ServiceStats:
                 total.accumulate(stats.decision_stats)
         return total
 
+    def total_subresult_stats(self) -> SubResultCatalogStats:
+        """Sum of every tenant's attributed sub-result catalog counters."""
+        total = SubResultCatalogStats()
+        with self._lock:
+            for stats in self._tenants.values():
+                total.accumulate(stats.subresult_stats)
+        return total
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             rows = {name: stats.as_dict() for name, stats in self._tenants.items()}
@@ -177,6 +194,7 @@ class ServiceStats:
             "tenants": rows,
             "total_cost_stats": self.total_cost_stats().as_dict(),
             "total_decision_stats": self.total_decision_stats().as_dict(),
+            "total_subresult_stats": self.total_subresult_stats().as_dict(),
         }
 
     def report(self) -> str:

@@ -318,6 +318,76 @@ class RandomWorkflowGenerator:
             workflow.add_job(total, total_annotations)
         return self._finalize(seed, workflow, base_datasets)
 
+    def shared_prefix_pair(
+        self, seed: int
+    ) -> Tuple[GeneratedWorkflow, GeneratedWorkflow]:
+        """Two workflows with byte-identical producing prefixes, different tails.
+
+        Structure (both workflows, over identical base data)::
+
+                 src ──(J0 project)── p0 ──(J1 sum)── p1 ──┬── tail
+                                                           │
+              workflow A tail: (aggregate) → a_out         │
+              workflow B tail: (distinct)  → b_out  +  (collect) → b_out2
+
+        The prefix jobs, their configurations, and the base records are
+        regenerated from the same seeded forks for both workflows, so the
+        producing subgraphs of ``p0`` and ``p1`` have **equal content
+        signatures** across the pair — executing one workflow and
+        registering its intermediates in a
+        :class:`~repro.core.subresults.SubResultCatalog` makes the other's
+        prefix reusable (a cross-workflow hit).  This is the shape the
+        reuse equivalence sweep and ``BENCH_subresult_reuse.json`` lean on;
+        everything the differential battery needs (profiles, annotations,
+        validation) is attached as usual.
+        """
+        first = self._shared_prefix_workflow(seed, variant="a")
+        second = self._shared_prefix_workflow(seed, variant="b")
+        return first, second
+
+    def _shared_prefix_workflow(self, seed: int, variant: str) -> GeneratedWorkflow:
+        """One member of :meth:`shared_prefix_pair` (``variant``: "a"/"b").
+
+        The prefix is rebuilt from identical rng forks for every variant —
+        same job names, same costs, same configs, same base records — so its
+        content signature is variant-independent by construction.
+        """
+        config = self.config
+        rng = DeterministicRNG(seed)
+        data_rng = rng.fork("shared-data")
+        prefix_rng = rng.fork("shared-prefix")
+        tail_rng = rng.fork(f"shared-tail-{variant}")
+
+        workflow = Workflow(name=f"shared{variant.upper()}-{seed}")
+        src = f"shared{seed}_src"
+        base_datasets = {src: self._make_dataset(src, data_rng.fork(src))}
+
+        p0, p1 = f"shared{seed}_p0", f"shared{seed}_p1"
+        head, head_annotations = self._build_project(
+            f"S{seed}_J0", src, p0, prefix_rng.fork("j0"), config
+        )
+        mid, mid_annotations = self._build_sum(
+            f"S{seed}_J1", p0, p1, prefix_rng.fork("j1"), config
+        )
+        workflow.add_job(head, head_annotations)
+        workflow.add_job(mid, mid_annotations)
+
+        if variant == "a":
+            tail, tail_annotations = self._build_aggregate(
+                f"S{seed}_A0", p1, f"shared{seed}_aout", tail_rng.fork("a0"), config
+            )
+            workflow.add_job(tail, tail_annotations)
+        else:
+            tail, tail_annotations = self._build_distinct(
+                f"S{seed}_B0", p1, f"shared{seed}_bout", tail_rng.fork("b0"), config
+            )
+            other, other_annotations = self._build_collect(
+                f"S{seed}_B1", p1, f"shared{seed}_bout2", tail_rng.fork("b1"), config
+            )
+            workflow.add_job(tail, tail_annotations)
+            workflow.add_job(other, other_annotations)
+        return self._finalize(seed, workflow, base_datasets)
+
     def _finalize(
         self, seed: int, workflow: Workflow, base_datasets: Dict[str, Dataset]
     ) -> GeneratedWorkflow:

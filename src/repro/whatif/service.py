@@ -385,6 +385,12 @@ class _ShardedCache:
             )
         return snapshot
 
+    def discard(self, signature: Tuple) -> bool:
+        """Drop one signature; True when it was present."""
+        lock, entries, _cap = self._shard(signature)
+        with lock:
+            return entries.pop(signature, None) is not None
+
     def clear(self) -> None:
         for lock, entries, _cap in self._shards:
             with lock:

@@ -47,9 +47,16 @@ class BaselineOptimizer(ABC):
             cluster, decision_cache, cache_path=decision_cache_path
         )
 
-    def optimize(self, plan_or_workflow) -> OptimizationResult:
-        """Optimize a plan (or raw workflow) with this baseline's strategy."""
+    def optimize(self, plan_or_workflow, budget=None) -> OptimizationResult:
+        """Optimize a plan (or raw workflow) with this baseline's strategy.
+
+        ``budget`` mirrors :meth:`StubbyOptimizer.optimize`'s cooperative
+        time budget.  Baselines are rule-based and effectively instant, so
+        the budget is checked once up front and otherwise ignored.
+        """
         plan = self._as_plan(plan_or_workflow)
+        if budget is not None:
+            budget.check("baseline.optimize")
         with StatsWindow(self.costs) as window:
             started = time.perf_counter()
             optimized = self._optimize_plan(plan.copy())

@@ -1,0 +1,56 @@
+"""Near-zero-cost fault-injection sites for the chaos harness.
+
+Production modules mark the places where a fault *could* happen — a task
+about to execute, a cache file about to be read, a serving rung about to
+run — by calling :func:`fault_site` with a stable site name and whatever
+keyword context identifies the visit (``worker_slot=0``, ``path=...``,
+``tenant=...``).  With no plan installed the call is one module-global
+read and a ``None`` check; with a plan installed, the plan decides whether
+this particular visit fires a fault (raise, sleep, SIGKILL, corrupt the
+named file).
+
+The hook lives in :mod:`repro.common` — a leaf package — so any layer
+(``core.parallel``, ``whatif.service``, ``service.server``) can import it
+without cycles.  The plans themselves, with their seeding, matching, and
+reporting, live in :mod:`repro.verification.faults`; this module only
+holds the indirection they install into.
+
+Installation is process-wide: a forked worker inherits the active plan by
+memory, which is exactly what lets a plan target ``worker_slot=0`` of a
+process pool.  Hit counters live on the plan object and are therefore
+per-process after a fork — parent-side reports only see parent-side
+fires; child-side fires are observed through their effects (a worker
+death, a retried task).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["active_plan", "fault_site", "set_active_plan"]
+
+#: The installed fault plan (duck-typed: anything with ``visit(site, info)``).
+_active = None
+
+
+def active_plan() -> Optional[object]:
+    """The currently installed plan, or ``None``."""
+    return _active
+
+
+def set_active_plan(plan: Optional[object]) -> None:
+    """Install (or with ``None`` remove) the process-wide fault plan."""
+    global _active
+    _active = plan
+
+
+def fault_site(name: str, **info) -> None:
+    """Declare one visit to the named injection site.
+
+    No-op unless a plan is installed; an installed plan may raise, sleep,
+    kill the current process, or mangle the file named by ``info["path"]``
+    before returning.
+    """
+    plan = _active
+    if plan is not None:
+        plan.visit(name, info)

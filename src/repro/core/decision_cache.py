@@ -54,6 +54,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cluster import ClusterSpec
+from repro.common.faults import fault_site
 
 # Content-key helpers live in the leaf module ``repro.core.content_keys``
 # (shared with the sub-result catalog); re-exported here because the search
@@ -439,6 +440,7 @@ class DecisionCache:
             "entries": entries,
         }
         atomic_pickle_write(path, payload)
+        fault_site("decisions.save", path=path)
         return len(entries)
 
     def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
@@ -450,6 +452,8 @@ class DecisionCache:
         path = path or self.cache_path
         if not path:
             raise ValueError("no decision cache path configured (pass path= or set cache_path)")
+        # Before the open: a corrupt/truncate fault mangles what we then read.
+        fault_site("decisions.load", path=path)
         if not os.path.exists(path):
             return CacheLoadReport(loaded=False, reason="no cache file")
         try:

@@ -185,6 +185,7 @@ class StubbyOptimizer:
         self,
         plan_or_workflow,
         phases: Optional[Sequence[str]] = None,
+        budget=None,
     ) -> OptimizationResult:
         """Optimize a plan (or raw workflow) and return the optimized result.
 
@@ -192,12 +193,17 @@ class StubbyOptimizer:
         one call (e.g. to run only the vertical pass on a Stubby optimizer).
         Phase names are validated here — lazily — so both the constructor
         configuration and per-call overrides fail with the same error.
+
+        ``budget`` is an optional :class:`repro.core.budget.TimeBudget` the
+        search checks cooperatively between candidate evaluations; when it
+        expires the call raises :class:`~repro.common.errors.DeadlineExceeded`
+        instead of returning a partially searched plan.
         """
         plan = self._as_plan(plan_or_workflow)
         selected = self._validated_phases(self.phases if phases is None else tuple(phases))
         with StatsWindow(self.costs) as window:
             started = time.perf_counter()
-            optimized, reports = self.search.run(plan, phases=selected)
+            optimized, reports = self.search.run(plan, phases=selected, budget=budget)
             # The search is the reported optimization time (comparable with
             # Figure 13); the final estimate below is accounting, not search.
             elapsed = time.perf_counter() - started

@@ -59,6 +59,8 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as _mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.common.faults import fault_site
+
 __all__ = [
     "BackendSession",
     "DEFAULT_WORKERS",
@@ -87,6 +89,24 @@ DISPATCH_KINDS = ("static", "stealing")
 #: How many times one request may be *executed* before a worker death makes
 #: it fail for good (stealing mode): the first attempt plus one retry.
 MAX_TASK_ATTEMPTS = 2
+
+
+def _reap_process(process, timeout: float = 5.0) -> None:
+    """Join ``process``, escalating to terminate then kill until it is gone.
+
+    A plain ``join(timeout=)`` can expire and leave a zombie (or a live
+    orphan still holding the inherited memory) behind; a worker that
+    ignores SIGTERM — stuck in uninterruptible I/O, or masked by the fault
+    harness — must still be reaped, so the escalation ends in SIGKILL,
+    which cannot be ignored.
+    """
+    process.join(timeout=timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=timeout)
+    if process.is_alive():  # pragma: no cover - SIGTERM-proof worker
+        process.kill()
+        process.join(timeout=timeout)
 
 
 def _validate_dispatch(dispatch: str) -> str:
@@ -369,6 +389,10 @@ class _SerialSession(BackendSession):
         self.dispatch_stats.runs += 1
         responses: List[Any] = []
         for position, request in enumerate(requests):
+            # worker_slot=-1: serial execution runs on the caller, never in a
+            # pool member — kill specs targeting pool slots must not fire
+            # here (a forked worker's *inner* serial search included).
+            fault_site("parallel.task", worker_slot=-1, backend="serial")
             responses.append(self._worker_fn(request))
             self.dispatch_stats.record(0, loads[position])
         return responses
@@ -417,7 +441,12 @@ class _ThreadSession(BackendSession):
         loads = _request_loads(requests, costs)
         self.dispatch_stats.runs += 1
         if len(requests) <= 1:
-            responses = [self._worker_fn(request) for request in requests]
+            # worker_slot=-1 marks inline execution: a kill spec armed for a
+            # pool worker (worker_slot >= 0) must never fire in the parent.
+            responses = []
+            for request in requests:
+                fault_site("parallel.task", worker_slot=-1, backend="inline")
+                responses.append(self._worker_fn(request))
             for position in range(len(requests)):
                 self.dispatch_stats.record(0, loads[position])
             return responses
@@ -432,7 +461,10 @@ class _ThreadSession(BackendSession):
             slot, chunk = slot_chunk
             token = side.chunk_begin() if side and side.chunk_begin else None
             try:
-                results = [(index, self._worker_fn(request)) for index, request in chunk]
+                results = []
+                for index, request in chunk:
+                    fault_site("parallel.task", worker_slot=slot, backend="thread")
+                    results.append((index, self._worker_fn(request)))
             finally:
                 # Balance the sink stack even when a task raises, so a
                 # caller that catches the error and reuses the session does
@@ -478,6 +510,7 @@ class _ThreadSession(BackendSession):
                         if not pending:
                             break
                         index, request = pending.popleft()
+                    fault_site("parallel.task", worker_slot=slot, backend="thread")
                     responses[index] = self._worker_fn(request)
                     # "Stolen" = ran somewhere other than its static
                     # round-robin slot (the imbalance the mode exists for).
@@ -515,13 +548,15 @@ class ThreadBackend(ExecutionBackend):
 # ---------------------------------------------------------------------------
 
 
-def _process_worker_main(conn, worker_fn, side_channel) -> None:
+def _process_worker_main(conn, worker_fn, side_channel, worker_slot: int = -1) -> None:
     """Loop of one forked worker: execute request chunks until told to stop.
 
     Runs in the child process.  Everything the worker needs beyond the
     per-chunk requests (candidate plans, the cost service, the search
     object) was inherited through ``fork`` — requests and responses are the
     only data crossing the pipe, so they must be plain picklable values.
+    ``worker_slot`` identifies this worker at the ``parallel.task`` fault
+    site, letting a chaos plan target one specific pool member.
     """
     side = side_channel
     try:
@@ -539,7 +574,10 @@ def _process_worker_main(conn, worker_fn, side_channel) -> None:
             token = side.chunk_begin() if side and side.chunk_begin else None
             failure = None
             try:
-                results = [(index, worker_fn(request)) for index, request in chunk]
+                results = []
+                for index, request in chunk:
+                    fault_site("parallel.task", worker_slot=worker_slot, backend="process")
+                    results.append((index, worker_fn(request)))
             except BaseException:
                 failure = traceback.format_exc()
             finally:
@@ -603,11 +641,11 @@ class _ForkSession(BackendSession):
     def _ensure_workers(self) -> None:
         if self._workers:
             return
-        for _ in range(self._requested_workers):
+        for slot in range(self._requested_workers):
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             process = self._ctx.Process(
                 target=_process_worker_main,
-                args=(child_conn, self._worker_fn, self._side),
+                args=(child_conn, self._worker_fn, self._side, slot),
                 daemon=True,
             )
             process.start()
@@ -621,8 +659,12 @@ class _ForkSession(BackendSession):
         self.dispatch_stats.runs += 1
         if len(requests) <= 1:
             # Not worth a pipe round-trip; inline execution is identical by
-            # the determinism contract.
-            responses = [self._worker_fn(request) for request in requests]
+            # the determinism contract.  worker_slot=-1: inline, never a
+            # target for pool-worker kill specs.
+            responses = []
+            for request in requests:
+                fault_site("parallel.task", worker_slot=-1, backend="inline")
+                responses.append(self._worker_fn(request))
             for position in range(len(requests)):
                 self.dispatch_stats.record(0, loads[position])
             return responses
@@ -639,7 +681,7 @@ class _ForkSession(BackendSession):
     def _mark_dead(self, slot: int) -> Any:
         """Reap a dead worker's process; returns it for error reporting."""
         _conn, process = self._workers[slot]
-        process.join(timeout=5)
+        _reap_process(process)
         self._dead.add(slot)
         self.dispatch_stats.worker_deaths += 1
         return process
@@ -815,10 +857,7 @@ class _ForkSession(BackendSession):
             finally:
                 conn.close()
         for _conn, process in self._workers:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=5)
+            _reap_process(process, timeout=10)
         self._workers = []
 
 

@@ -38,7 +38,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
+from repro.common.faults import fault_site
 from repro.common.rng import DeterministicRNG
+from repro.core.budget import UNBOUNDED, TimeBudget
 from repro.core.costing import (
     CostService,
     CostServiceStats,
@@ -225,19 +227,44 @@ class StubbySearch:
         #: possibly warm-started from STUBBY_DECISION_CACHE) otherwise.
         self.decisions = ensure_decision_cache(cluster, decision_cache)
         self._cluster_key = cluster_cache_key(cluster)
+        #: Cooperative deadline for the *current* ``run()``; checked between
+        #: candidate evaluations (never mid-rewrite).  Per-run state — like
+        #: the RNG, one search instance serves one run at a time.
+        self._budget: TimeBudget = UNBOUNDED
+        #: Serving-ladder rung 1: replay memoized decisions only.  A unit
+        #: whose content key has a recorded decision replays it exactly; a
+        #: unit without one is left untouched — no enumeration, no RRS, and
+        #: crucially no decision store (a skipped search must never record
+        #: the no-op as that unit's optimal decision).
+        self.replay_only = False
 
     # ------------------------------------------------------------------ API
-    def run(self, plan: Plan, phases: Sequence[str] = ("vertical", "horizontal")) -> Tuple[Plan, List[UnitReport]]:
-        """Run the requested phases over the plan; returns the optimized plan."""
-        reports: List[UnitReport] = []
-        current = plan
-        for phase in phases:
-            transformations = (
-                self.vertical_transformations if phase == "vertical" else self.horizontal_transformations
-            )
-            current, phase_reports = self._run_phase(current, transformations, phase)
-            reports.extend(phase_reports)
-        return current, reports
+    def run(
+        self,
+        plan: Plan,
+        phases: Sequence[str] = ("vertical", "horizontal"),
+        budget: Optional[TimeBudget] = None,
+    ) -> Tuple[Plan, List[UnitReport]]:
+        """Run the requested phases over the plan; returns the optimized plan.
+
+        ``budget`` bounds this run cooperatively: the search raises
+        :class:`~repro.common.errors.DeadlineExceeded` at the next check
+        point after expiry, leaving every already-composed rewrite valid.
+        """
+        previous = self._budget
+        self._budget = budget if budget is not None else UNBOUNDED
+        try:
+            reports: List[UnitReport] = []
+            current = plan
+            for phase in phases:
+                transformations = (
+                    self.vertical_transformations if phase == "vertical" else self.horizontal_transformations
+                )
+                current, phase_reports = self._run_phase(current, transformations, phase)
+                reports.extend(phase_reports)
+            return current, reports
+        finally:
+            self._budget = previous
 
     # ---------------------------------------------------------------- phase
     def _run_phase(
@@ -250,6 +277,7 @@ class StubbySearch:
         reports: List[UnitReport] = []
         current = plan
         while True:
+            self._budget.check("search.unit")
             unit = generator.next_unit(current)
             if unit is None:
                 break
@@ -318,6 +346,20 @@ class StubbySearch:
                     if decisions.verify_hits:
                         self._verify_replay(plan, subunits, transformations, phase, replayed[0])
                     return replayed
+
+        if self.replay_only:
+            # Rung-1 serving mode: no memoized decision for this unit, so it
+            # is served untouched.  Nothing is stored — the unit was never
+            # searched, and recording a no-op here would poison later full
+            # searches of the same content key.
+            reports = []
+            for subunit in subunits:
+                report = UnitReport(unit=subunit, phase=phase, plan_before=plan)
+                report.plan_after = plan.copy()
+                reports.append(report)
+            if key is not None:
+                reports[0].unit_decision_misses = 1
+            return plan, reports
 
         optimized, reports = self._search_units(plan, subunits, transformations, phase)
         if key is not None:
@@ -593,6 +635,7 @@ class StubbySearch:
         combo_costs: Dict[Tuple, float] = {}
         with self.costs.attribute_to(composition_stats):
             for combo in combos:
+                self._budget.check("search.compose")
                 content = tuple(
                     candidate_keys[subunit_index][candidate_index]
                     for subunit_index, candidate_index in enumerate(combo)
@@ -741,6 +784,8 @@ class StubbySearch:
         point_session: Optional[BackendSession] = None,
     ) -> Tuple[float, Dict[str, Mapping[str, object]], int, CostServiceStats]:
         """Cost one candidate (baseline estimate + RRS configuration search)."""
+        self._budget.check("search.candidate")
+        fault_site("search.candidate", rng_key=task.rng_key)
         stats = CostServiceStats()
         with self.costs.attribute_to(stats):
             cost, settings, evaluations = self._cost_with_configurations(task, point_session)
@@ -751,7 +796,10 @@ class StubbySearch:
 
         The hottest loop of the whole search: one CoW plan clone per sample,
         privatizing only the jobs whose configuration the sample moves.
+        (Also the finest-grained deadline check point — an unbounded budget
+        costs one attribute read here.)
         """
+        self._budget.check("search.rrs_point")
         candidate = task.record.plan.copy()
         ConfigurationTransformation.apply_settings_in_place(candidate, self._split_point(point))
         return self.costs.estimate_workflow(candidate.workflow).total_s
@@ -777,6 +825,7 @@ class StubbySearch:
         depth = 0
 
         while frontier and depth < MAX_ENUMERATION_DEPTH and len(results) < MAX_SUBPLANS_PER_UNIT:
+            self._budget.check("search.enumerate")
             next_frontier: List[Tuple[SubplanRecord, Tuple[str, ...]]] = []
             for record, unit_jobs in frontier:
                 for transformation in structural:

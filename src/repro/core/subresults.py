@@ -50,6 +50,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
+from repro.common.faults import fault_site
 from repro.common.hashing import stable_hash
 from repro.core.content_keys import (
     _env_flag,
@@ -357,6 +358,7 @@ class SubResultCatalog:
         """
         if not self.enabled:
             raise SubResultUnavailableError("sub-result catalog is disabled")
+        fault_site("subresults.fetch")
         entry = self.probe(signature, origin=origin)
         if entry is None:
             raise SubResultUnavailableError(
@@ -522,6 +524,7 @@ class SubResultCatalog:
             "entries": entries,
         }
         atomic_pickle_write(path, payload)
+        fault_site("subresults.save", path=path)
         return len(entries)
 
     def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
@@ -534,6 +537,8 @@ class SubResultCatalog:
         path = path or self.cache_path
         if not path:
             raise ValueError("no catalog path configured (pass path= or set cache_path)")
+        # Before the open: a corrupt/truncate fault mangles what we then read.
+        fault_site("subresults.load", path=path)
         if not os.path.exists(path):
             return CacheLoadReport(loaded=False, reason="no catalog file")
         try:

@@ -8,11 +8,19 @@ latency) and cannot let one hot tenant monopolize the workers.  The
   an offer over either limit is rejected *immediately*
   (:class:`AdmissionRejected`), so the client can back off instead of
   timing out invisibly deep in a queue;
-* **fair** — internally one FIFO deque *per tenant* plus a round-robin
-  ring over the tenants that currently have queued work.  ``take_batch``
+* **fair** — internally one queue *per tenant* plus a round-robin ring
+  over the tenants that currently have queued work.  ``take_batch``
   drains tenants in ring order, one item per turn, so a tenant sending
   1000 requests and a tenant sending 1 both get their head-of-line request
-  into the next batch.
+  into the next batch;
+* **deadline-aware** — an offer may carry ``priority`` (higher drains
+  first *within its tenant*; fairness across tenants is untouched, so a
+  high-priority flood still cannot starve the neighbours) and
+  ``deadline_at`` (absolute ``time.monotonic()``).  An item whose deadline
+  already passed when the dispatcher reaches it is **shed** instead of
+  dispatched — handed to the ``on_shed`` callback so the server can answer
+  it with a degraded plan rather than burning a worker on a result nobody
+  can use in time.
 
 The queue is thread-safe (one condition variable) and deliberately knows
 nothing about asyncio: the server's event loop offers tickets from the
@@ -25,9 +33,11 @@ it was already taken.
 from __future__ import annotations
 
 import threading
+import time
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["AdmissionQueue", "AdmissionRejected", "AdmissionStats"]
 
@@ -52,6 +62,7 @@ class AdmissionStats:
     rejected_closed: int = 0
     taken: int = 0
     cancelled_in_queue: int = 0
+    shed_expired: int = 0
     peak_depth: int = 0
 
     @property
@@ -69,13 +80,25 @@ class AdmissionStats:
             "rejected": self.rejected,
             "taken": self.taken,
             "cancelled_in_queue": self.cancelled_in_queue,
+            "shed_expired": self.shed_expired,
             "peak_depth": self.peak_depth,
         }
 
 
 @dataclass
+class _Entry:
+    """One queued item with its drain order and optional deadline."""
+
+    #: ``(-priority, seq)``: higher priority first, FIFO within a priority.
+    order: tuple
+    deadline_at: Optional[float]
+    item: Any
+
+
+@dataclass
 class _TenantQueue:
-    items: deque = field(default_factory=deque)
+    #: Kept sorted by ``_Entry.order`` (bisect insert); head drains first.
+    items: List[_Entry] = field(default_factory=list)
 
 
 class AdmissionQueue:
@@ -85,9 +108,18 @@ class AdmissionQueue:
     (optional) additionally bounds any single tenant's share, which is what
     actually enforces fairness under overload — without it a burst from one
     tenant can fill the whole global budget before anyone else offers.
+
+    ``on_shed`` (an attribute, settable after construction) receives each
+    item shed for an expired deadline; it is invoked on the *consumer*
+    thread, outside the queue lock.
     """
 
-    def __init__(self, capacity: int = 64, per_tenant_capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        per_tenant_capacity: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError("admission capacity must be >= 1")
         if per_tenant_capacity is not None and per_tenant_capacity < 1:
@@ -95,16 +127,30 @@ class AdmissionQueue:
         self.capacity = capacity
         self.per_tenant_capacity = per_tenant_capacity
         self.stats = AdmissionStats()
+        self.on_shed: Optional[Callable[[Any], None]] = None
+        self._clock = clock
         self._tenants: Dict[str, _TenantQueue] = {}
         #: Tenants with queued work, in round-robin service order.
         self._ring: deque = deque()
         self._size = 0
+        self._seq = 0
         self._closed = False
         self._cond = threading.Condition()
 
     # ------------------------------------------------------------- producers
-    def offer(self, tenant: str, item: Any) -> None:
-        """Admit ``item`` for ``tenant`` or raise :class:`AdmissionRejected`."""
+    def offer(
+        self,
+        tenant: str,
+        item: Any,
+        priority: int = 0,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        """Admit ``item`` for ``tenant`` or raise :class:`AdmissionRejected`.
+
+        ``priority`` orders drains *within* the tenant's queue (higher
+        first, FIFO among equals); ``deadline_at`` (absolute monotonic
+        time) marks the item sheddable once passed.
+        """
         with self._cond:
             self.stats.offered += 1
             if self._closed:
@@ -128,7 +174,9 @@ class AdmissionQueue:
             if not queue.items and tenant not in self._ring:
                 # (membership scan: the ring holds tenants, not items — tiny)
                 self._ring.append(tenant)
-            queue.items.append(item)
+            self._seq += 1
+            entry = _Entry(order=(-priority, self._seq), deadline_at=deadline_at, item=item)
+            insort(queue.items, entry, key=lambda existing: existing.order)
             self._size += 1
             self.stats.accepted += 1
             self.stats.peak_depth = max(self.stats.peak_depth, self._size)
@@ -145,9 +193,11 @@ class AdmissionQueue:
             queue = self._tenants.get(tenant)
             if queue is None:
                 return False
-            try:
-                queue.items.remove(item)
-            except ValueError:
+            for position, entry in enumerate(queue.items):
+                if entry.item is item:
+                    del queue.items[position]
+                    break
+            else:
                 return False
             self._size -= 1
             self.stats.cancelled_in_queue += 1
@@ -157,36 +207,57 @@ class AdmissionQueue:
 
     # ------------------------------------------------------------- consumers
     def take_batch(self, limit: int, timeout: Optional[float] = None) -> List[Any]:
-        """Take up to ``limit`` items, round-robin across tenants.
+        """Take up to ``limit`` unexpired items, round-robin across tenants.
 
         Blocks until at least one item is available, the queue closes, or
         ``timeout`` elapses (empty list on timeout / closed-and-empty).
+        Items whose deadline passed while queued are shed — not returned —
+        and reported to :attr:`on_shed` (outside the lock) so the caller
+        can still answer them.
         """
         if limit < 1:
             raise ValueError("batch limit must be >= 1")
+        shed: List[Any] = []
         with self._cond:
             if not self._size and not self._closed:
                 self._cond.wait(timeout)
+            now = self._clock()
             batch: List[Any] = []
             while self._size and len(batch) < limit:
-                item = self._pop_round_robin()
-                if item is not None:
-                    batch.append(item)
+                item = self._pop_round_robin(shed, now)
+                if item is None:
+                    break
+                batch.append(item)
             self.stats.taken += len(batch)
-            return batch
+        if shed and self.on_shed is not None:
+            for item in shed:
+                self.on_shed(item)
+        return batch
 
-    def _pop_round_robin(self) -> Optional[Any]:
-        """Pop one item from the tenant at the head of the ring (lock held)."""
+    def _pop_round_robin(self, shed: List[Any], now: float) -> Optional[Any]:
+        """Pop one live item from the ring-head tenant (lock held).
+
+        Expired items at the head are shed (collected into ``shed``) until
+        a live one — or an empty queue — is found.
+        """
         while self._ring:
             tenant = self._ring.popleft()
             queue = self._tenants[tenant]
+            while queue.items:
+                entry = queue.items[0]
+                if entry.deadline_at is None or now < entry.deadline_at:
+                    break
+                del queue.items[0]
+                self._size -= 1
+                self.stats.shed_expired += 1
+                shed.append(entry.item)
             if not queue.items:
-                continue  # emptied by remove(); drop the stale ring entry
-            item = queue.items.popleft()
+                continue  # emptied by remove()/shedding; drop the ring entry
+            entry = queue.items.pop(0)
             self._size -= 1
             if queue.items:
                 self._ring.append(tenant)
-            return item
+            return entry.item
         return None
 
     # ------------------------------------------------------------- lifecycle

@@ -34,10 +34,13 @@ import os
 import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import ClusterSpec
+from repro.common.errors import OptimizationError, TerminalError
+from repro.common.faults import fault_site
+from repro.core.budget import TimeBudget
 from repro.core.costing import cost_service_side_channel, ensure_cost_service
 from repro.core.decision_cache import (
     DecisionCache,
@@ -61,6 +64,14 @@ from repro.core.parallel import (
 )
 from repro.core.plan import Plan
 from repro.service.admission import AdmissionQueue, AdmissionRejected
+from repro.service.degradation import (
+    CircuitBreaker,
+    LEVEL_FULL,
+    LEVEL_REPLAY_ONLY,
+    LEVEL_SINGLE_PHASE,
+    LEVEL_UNOPTIMIZED,
+    level_name,
+)
 from repro.service.stats import ServiceStats
 from repro.whatif.service import CostService, CostServiceStats
 
@@ -154,6 +165,15 @@ class PlanRequest:
     #: Relative cost weight for the pool's load accounting (heterogeneous
     #: requests are why dispatch is work-stealing); any positive number.
     cost_weight: float = 1.0
+    #: Seconds the client is willing to wait for an answer.  The remaining
+    #: budget is threaded into the search as a cooperative deadline; a
+    #: request still queued when its deadline passes is shed — answered
+    #: with an unoptimized (level 3) plan instead of dispatched.  ``None``
+    #: means no deadline.
+    deadline_s: Optional[float] = None
+    #: Drain order within this tenant's queue (higher first); cross-tenant
+    #: fairness is unaffected.
+    priority: int = 0
 
 
 @dataclass
@@ -186,6 +206,15 @@ class PlanResponse:
     decision_stats: Optional[DecisionCacheStats] = None
     #: Exact sub-result catalog delta this request produced.
     subresult_stats: Optional[SubResultCatalogStats] = None
+    #: Ladder rung this answer was served at (0 = the full, bit-identical
+    #: search; see :data:`repro.service.degradation.DEGRADATION_LEVELS`).
+    degradation_level: int = 0
+    degradation: str = "full"
+    #: Why the response degraded (one note per rung that failed/was skipped).
+    degradation_reason: str = ""
+    #: True when the request was answered without dispatch because its
+    #: deadline expired in the queue (always served at level 3).
+    shed: bool = False
 
     def identity(self) -> Tuple:
         """The triple compared against :func:`oracle_fingerprint`."""
@@ -194,13 +223,37 @@ class PlanResponse:
 
 @dataclass
 class _Ticket:
-    """One admitted request awaiting execution."""
+    """One admitted request awaiting execution.
+
+    A ticket's lifecycle ends exactly once — either the client withdraws
+    it (timeout/cancel) or the server answers it — but those two events
+    race on different threads.  :meth:`claim` arbitrates: the first
+    claimant wins, so the lifecycle counters record *completed xor
+    cancelled*, never both.
+    """
 
     request: PlanRequest
     future: "asyncio.Future[PlanResponse]"
     loop: asyncio.AbstractEventLoop
     enqueued: float
+    #: Absolute ``time.monotonic()`` deadline (``None`` = no deadline).
+    deadline_at: Optional[float] = None
+    #: Dispatcher verdict: may this request attempt the full search?
+    #: (False when the tenant's circuit breaker is open.)
+    allow_full: bool = True
     cancelled: bool = False
+    _outcome: str = ""
+    _claim_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def claim(self, outcome: str) -> bool:
+        """Claim the ticket's single lifecycle outcome; True for the winner."""
+        with self._claim_lock:
+            if self._outcome:
+                return False
+            self._outcome = outcome
+            if outcome == "cancelled":
+                self.cancelled = True
+            return True
 
 
 class PlanningServer:
@@ -236,6 +289,9 @@ class PlanningServer:
         decision_cache_path: Optional[str] = None,
         subresult_catalog: Optional[SubResultCatalog] = None,
         subresult_catalog_path: Optional[str] = None,
+        breaker_threshold: int = 3,
+        breaker_backoff_s: float = 0.5,
+        breaker_max_backoff_s: float = 30.0,
     ) -> None:
         self.cluster = cluster
         self.costs = ensure_cost_service(cluster, cost_service, cache_path=cache_path)
@@ -253,7 +309,12 @@ class PlanningServer:
         )
         self.dispatch = dispatch
         self.admission = AdmissionQueue(queue_capacity, per_tenant_capacity)
+        #: Expired-in-queue requests are answered (degraded), not dropped.
+        self.admission.on_shed = self._shed_ticket
         self.stats = ServiceStats()
+        #: Per-tenant full-search circuit breakers (dispatcher-thread only).
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_config = (breaker_threshold, breaker_backoff_s, breaker_max_backoff_s)
         self._registry: Dict[str, Plan] = {}
         self._max_batch = max_batch or max(2 * self.backend.workers, 4)
         self._session = None
@@ -407,15 +468,30 @@ class PlanningServer:
         if request.optimizer not in OPTIMIZER_VARIANTS:
             self.stats.count(request.tenant, "rejected")
             raise AdmissionRejected(f"unknown optimizer {request.optimizer!r}", request.tenant)
+        if request.deadline_s is not None and request.deadline_s <= 0:
+            self.stats.count(request.tenant, "rejected")
+            raise AdmissionRejected(
+                f"deadline_s must be positive, got {request.deadline_s!r}", request.tenant
+            )
         loop = asyncio.get_running_loop()
         ticket = _Ticket(
             request=request,
             future=loop.create_future(),
             loop=loop,
             enqueued=time.perf_counter(),
+            deadline_at=(
+                time.monotonic() + request.deadline_s
+                if request.deadline_s is not None
+                else None
+            ),
         )
         try:
-            self.admission.offer(request.tenant, ticket)
+            self.admission.offer(
+                request.tenant,
+                ticket,
+                priority=request.priority,
+                deadline_at=ticket.deadline_at,
+            )
         except AdmissionRejected:
             self.stats.count(request.tenant, "rejected")
             raise
@@ -425,9 +501,12 @@ class PlanningServer:
                 return await asyncio.wait_for(ticket.future, timeout)
             return await ticket.future
         except (asyncio.CancelledError, asyncio.TimeoutError):
-            ticket.cancelled = True
+            # First claimant wins: if the dispatcher already completed the
+            # request, the cancellation is too late — the lifecycle counters
+            # must show completed xor cancelled, never both.
+            if ticket.claim("cancelled"):
+                self.stats.count(request.tenant, "cancelled")
             self.admission.remove(request.tenant, ticket)
-            self.stats.count(request.tenant, "cancelled")
             raise
 
     # ----------------------------------------------------------- dispatcher
@@ -474,10 +553,39 @@ class PlanningServer:
         if session is not None:
             session.close()
 
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        """The (created-on-first-use) circuit breaker of one tenant."""
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            threshold, backoff, max_backoff = self._breaker_config
+            breaker = self._breakers[tenant] = CircuitBreaker(
+                failure_threshold=threshold,
+                backoff_s=backoff,
+                max_backoff_s=max_backoff,
+            )
+        return breaker
+
     def _run_batch(self, tickets: List[_Ticket]) -> None:
         session = self._ensure_session()
+        for ticket in tickets:
+            # Breaker consult happens here, on the dispatcher thread, so the
+            # verdict rides into the worker as plain data.
+            breaker = self.breaker(ticket.request.tenant)
+            probing = breaker.state != "closed"
+            ticket.allow_full = breaker.allow_full()
+            if ticket.allow_full and probing:
+                self.stats.count(ticket.request.tenant, "breaker_probes")
+            elif not ticket.allow_full:
+                self.stats.count(ticket.request.tenant, "breaker_short_circuits")
         work = [
-            (t.request.tenant, t.request.workload, t.request.optimizer, t.request.seed)
+            (
+                t.request.tenant,
+                t.request.workload,
+                t.request.optimizer,
+                t.request.seed,
+                t.deadline_at,
+                t.allow_full,
+            )
             for t in tickets
         ]
         costs = [t.request.cost_weight for t in tickets]
@@ -501,35 +609,83 @@ class PlanningServer:
         if getattr(session, "forked", False) and session.live_workers < self.backend.workers:
             self._close_session()
 
-    def _execute(self, work: Tuple[str, str, str, int]):
-        """Worker-side: run one optimization under tenant attribution.
+    def _execute(self, work: Tuple[str, str, str, int, Optional[float], bool]):
+        """Worker-side: run one optimization down the degradation ladder.
 
         Runs on whatever worker the pool chose (a pool thread, a forked
         process, or inline for one-request batches); returns only plain
-        picklable data.  Exceptions become error tuples — a worker never
-        dies because of a bad request.
+        picklable data.  Rungs are attempted cheapest-last; a rung's
+        transient failure (or an expired time budget) steps down to the
+        next, so every request ends in *some* usable plan — only a
+        :class:`~repro.common.errors.TerminalError` (or the whole ladder
+        failing) produces an error tuple.
         """
-        tenant, workload, optimizer, seed = work
+        tenant, workload, optimizer, seed, deadline_at, allow_full = work
         started = time.perf_counter()
         cost_sink = CostServiceStats()
         decision_sink = DecisionCacheStats()
         subresult_sink = SubResultCatalogStats()
+        budget = TimeBudget(deadline_at=deadline_at) if deadline_at is not None else None
+        full_attempted = False
+        full_failed = False
+        notes: List[str] = []
         try:
+            fault_site("server.execute", tenant=tenant, workload=workload, optimizer=optimizer)
             plan = self._registry[workload]
-            variant = build_variant(
-                optimizer,
-                self.cluster,
-                seed,
-                cost_service=self.costs,
-                decision_cache=self.decisions,
-                subresult_catalog=self.subresults,
-                backend="serial",
-            )
+            rungs: List[int] = []
+            if allow_full:
+                rungs.append(LEVEL_FULL)
+            else:
+                notes.append("full: skipped (circuit breaker open)")
+            if optimizer != "Baseline":
+                # Baseline never runs the unit search: replay/single-phase
+                # would just repeat the full rung, so its ladder skips them.
+                rungs.extend((LEVEL_REPLAY_ONLY, LEVEL_SINGLE_PHASE))
+            rungs.append(LEVEL_UNOPTIMIZED)
+            result = None
+            level = LEVEL_UNOPTIMIZED
             with self.costs.origin(f"tenant:{tenant}"), self.subresults.origin(f"tenant:{tenant}"):
                 with self.costs.attribute_to(cost_sink):
                     with self.decisions.attribute_to(decision_sink):
                         with self.subresults.attribute_to(subresult_sink):
-                            result = variant.optimize(plan.copy())
+                            for rung in rungs:
+                                name = level_name(rung)
+                                if (
+                                    rung != LEVEL_UNOPTIMIZED
+                                    and budget is not None
+                                    and budget.expired
+                                ):
+                                    # No budget left to search with: only the
+                                    # final rung can still answer in time.
+                                    notes.append(f"{name}: skipped (deadline exhausted)")
+                                    continue
+                                if rung == LEVEL_FULL:
+                                    full_attempted = True
+                                try:
+                                    fault_site(
+                                        f"server.rung.{name}",
+                                        tenant=tenant,
+                                        workload=workload,
+                                        optimizer=optimizer,
+                                    )
+                                    result = self._run_rung(rung, optimizer, seed, plan, budget)
+                                except TerminalError:
+                                    # No rung can fix a terminal failure; the
+                                    # request fails outright.
+                                    if rung == LEVEL_FULL:
+                                        full_failed = True
+                                    raise
+                                except Exception as exc:
+                                    if rung == LEVEL_FULL:
+                                        full_failed = True
+                                    notes.append(f"{name}: {type(exc).__name__}: {exc}")
+                                    continue
+                                level = rung
+                                break
+                            if result is None:
+                                raise OptimizationError(
+                                    "degradation ladder exhausted: " + "; ".join(notes)
+                                )
                             # Jobs the served plan no longer runs — credited
                             # from the final plan only (candidates that lost
                             # the arbitration must not count).
@@ -546,6 +702,8 @@ class PlanningServer:
                 cost_sink,
                 decision_sink,
                 subresult_sink,
+                full_attempted,
+                full_failed,
             )
         return (
             "ok",
@@ -562,6 +720,52 @@ class PlanningServer:
             cost_sink,
             decision_sink,
             subresult_sink,
+            level,
+            level_name(level),
+            "; ".join(notes),
+            full_attempted,
+            full_failed,
+        )
+
+    def _run_rung(
+        self,
+        rung: int,
+        optimizer: str,
+        seed: int,
+        plan: Plan,
+        budget: Optional[TimeBudget],
+    ) -> OptimizationResult:
+        """Execute one ladder rung; the caller handles its failure."""
+        if rung == LEVEL_UNOPTIMIZED:
+            return self._unoptimized_result(plan)
+        variant = build_variant(
+            optimizer,
+            self.cluster,
+            seed,
+            cost_service=self.costs,
+            decision_cache=self.decisions,
+            subresult_catalog=self.subresults,
+            backend="serial",
+        )
+        if rung == LEVEL_REPLAY_ONLY:
+            # Memoized replay only: decision-cache hits are applied, misses
+            # leave their unit untouched (and store nothing).
+            variant.search.replay_only = True
+            return variant.optimize(plan.copy(), budget=budget)
+        if rung == LEVEL_SINGLE_PHASE:
+            return variant.optimize(plan.copy(), phases=("vertical",), budget=budget)
+        return variant.optimize(plan.copy(), budget=budget)
+
+    def _unoptimized_result(self, plan: Plan) -> OptimizationResult:
+        """The ladder's floor: the input plan, validated and costed as-is."""
+        copied = plan.copy()
+        copied.workflow.validate()
+        estimate = self.costs.estimate_workflow(copied.workflow)
+        return OptimizationResult(
+            plan=copied,
+            estimated_cost_s=estimate.total_s,
+            optimization_time_s=0.0,
+            optimizer="Unoptimized",
         )
 
     # ------------------------------------------------------------ resolution
@@ -569,7 +773,17 @@ class PlanningServer:
         request = ticket.request
         now = time.perf_counter()
         if raw[0] == "error":
-            _tag, error, pid, service_s, cost_sink, decision_sink, subresult_sink = raw
+            (
+                _tag,
+                error,
+                pid,
+                service_s,
+                cost_sink,
+                decision_sink,
+                subresult_sink,
+                full_attempted,
+                full_failed,
+            ) = raw
             response = PlanResponse(
                 tenant=request.tenant,
                 workload=request.workload,
@@ -601,6 +815,11 @@ class PlanningServer:
                 cost_sink,
                 decision_sink,
                 subresult_sink,
+                level,
+                level_label,
+                degradation_reason,
+                full_attempted,
+                full_failed,
             ) = raw
             response = PlanResponse(
                 tenant=request.tenant,
@@ -623,9 +842,16 @@ class PlanningServer:
                 cost_stats=cost_sink,
                 decision_stats=decision_sink,
                 subresult_stats=subresult_sink,
+                degradation_level=level,
+                degradation=level_label,
+                degradation_reason=degradation_reason,
             )
-        # The tenant's ledger sees every executed request — cancelled or not;
-        # the work happened, so the attribution invariant must include it.
+        self._record_full_outcome(request.tenant, full_attempted, full_failed, response.ok)
+        # The tenant's ledger always folds the attribution deltas — the work
+        # happened, so the invariant must include it even for a request the
+        # client already claimed as cancelled; the lifecycle counters,
+        # though, record completed xor cancelled (first claimant wins).
+        counted = ticket.claim("completed")
         self.stats.record_completion(
             request.tenant,
             latency_s=response.latency_s,
@@ -635,8 +861,26 @@ class PlanningServer:
             decision_delta=response.decision_stats,
             ok=response.ok,
             subresult_delta=response.subresult_stats,
+            count_lifecycle=counted,
+            degradation_level=response.degradation_level,
+            degradation_label=response.degradation,
         )
         self._deliver(ticket, response)
+
+    def _record_full_outcome(
+        self, tenant: str, full_attempted: bool, full_failed: bool, ok: bool
+    ) -> None:
+        """Feed one request's full-search outcome to the tenant's breaker."""
+        if not full_attempted:
+            return
+        breaker = self.breaker(tenant)
+        if full_failed or not ok:
+            trips_before = breaker.trips
+            breaker.record_failure()
+            if breaker.trips > trips_before:
+                self.stats.count(tenant, "breaker_trips")
+        else:
+            breaker.record_success()
 
     def _resolve_error(self, ticket: _Ticket, error: str, dispatched: float) -> None:
         request = ticket.request
@@ -651,6 +895,10 @@ class PlanningServer:
             queue_wait_s=dispatched - ticket.enqueued,
             latency_s=now - ticket.enqueued,
         )
+        # A pool-level failure killed the full search this ticket was
+        # allowed to attempt; the breaker must see it.
+        self._record_full_outcome(request.tenant, ticket.allow_full, True, False)
+        counted = ticket.claim("completed")
         self.stats.record_completion(
             request.tenant,
             latency_s=response.latency_s,
@@ -659,6 +907,83 @@ class PlanningServer:
             cost_delta=None,
             decision_delta=None,
             ok=False,
+            count_lifecycle=counted,
+        )
+        self._deliver(ticket, response)
+
+    def _shed_ticket(self, ticket: _Ticket) -> None:
+        """Answer a deadline-expired, never-dispatched request (degraded).
+
+        Called by the admission queue (dispatcher thread, outside its lock)
+        for items shed in ``take_batch``.  The response is the ladder floor
+        — an unoptimized, validated, costed plan — delivered late rather
+        than dropped: the zero-hung-requests contract.
+        """
+        if not ticket.claim("completed"):
+            return  # the client already withdrew it
+        request = ticket.request
+        now = time.perf_counter()
+        started = now
+        cost_sink = CostServiceStats()
+        decision_sink = DecisionCacheStats()
+        subresult_sink = SubResultCatalogStats()
+        reason = "shed: deadline expired before dispatch"
+        try:
+            plan = self._registry[request.workload]
+            with self.costs.origin(f"tenant:{request.tenant}"):
+                with self.costs.attribute_to(cost_sink):
+                    with self.decisions.attribute_to(decision_sink):
+                        with self.subresults.attribute_to(subresult_sink):
+                            result = self._unoptimized_result(plan)
+            response = PlanResponse(
+                tenant=request.tenant,
+                workload=request.workload,
+                optimizer=request.optimizer,
+                seed=request.seed,
+                ok=True,
+                plan_signature=result.plan_signature(),
+                decision_fingerprint=result.decision_fingerprint(),
+                estimated_cost_s=result.estimated_cost_s,
+                worker_pid=os.getpid(),
+                queue_wait_s=now - ticket.enqueued,
+                service_s=time.perf_counter() - started,
+                latency_s=time.perf_counter() - ticket.enqueued,
+                cost_stats=cost_sink,
+                decision_stats=decision_sink,
+                subresult_stats=subresult_sink,
+                degradation_level=LEVEL_UNOPTIMIZED,
+                degradation=level_name(LEVEL_UNOPTIMIZED),
+                degradation_reason=reason,
+                shed=True,
+            )
+        except Exception:
+            response = PlanResponse(
+                tenant=request.tenant,
+                workload=request.workload,
+                optimizer=request.optimizer,
+                seed=request.seed,
+                ok=False,
+                error=traceback.format_exc(),
+                queue_wait_s=now - ticket.enqueued,
+                latency_s=time.perf_counter() - ticket.enqueued,
+                cost_stats=cost_sink,
+                decision_stats=decision_sink,
+                subresult_stats=subresult_sink,
+                degradation_reason=reason,
+                shed=True,
+            )
+        self.stats.record_completion(
+            request.tenant,
+            latency_s=response.latency_s,
+            queue_wait_s=response.queue_wait_s,
+            service_s=response.service_s,
+            cost_delta=response.cost_stats,
+            decision_delta=response.decision_stats,
+            ok=response.ok,
+            subresult_delta=response.subresult_stats,
+            degradation_level=response.degradation_level,
+            degradation_label=response.degradation,
+            shed=True,
         )
         self._deliver(ticket, response)
 

@@ -56,6 +56,17 @@ class TenantStats:
     cancelled: int = 0
     completed: int = 0
     failed: int = 0
+    #: Completed requests answered below the full rung (shed ones excluded).
+    degraded: int = 0
+    #: Degraded completions by ladder-rung label (``replay_only``…).
+    degraded_by_level: Dict[str, int] = field(default_factory=dict)
+    #: Requests answered with an unoptimized plan because their deadline
+    #: expired before dispatch (disjoint from ``degraded``).
+    shed: int = 0
+    #: Circuit-breaker activity for this tenant's full searches.
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    breaker_short_circuits: int = 0
     queue_wait_s: float = 0.0
     service_s: float = 0.0
     #: Wall-clock submit→response latency of every completed request.
@@ -87,6 +98,12 @@ class TenantStats:
             "cancelled": self.cancelled,
             "completed": self.completed,
             "failed": self.failed,
+            "degraded": self.degraded,
+            "degraded_by_level": dict(self.degraded_by_level),
+            "shed": self.shed,
+            "breaker_trips": self.breaker_trips,
+            "breaker_probes": self.breaker_probes,
+            "breaker_short_circuits": self.breaker_short_circuits,
             "queue_wait_s": self.queue_wait_s,
             "service_s": self.service_s,
             "latency_p50_s": percentile(self.latencies, 50),
@@ -138,15 +155,37 @@ class ServiceStats:
         decision_delta: Optional[DecisionCacheStats],
         ok: bool = True,
         subresult_delta: Optional[SubResultCatalogStats] = None,
+        count_lifecycle: bool = True,
+        degradation_level: int = 0,
+        degradation_label: str = "",
+        shed: bool = False,
     ) -> None:
-        """Fold one finished request's exact deltas into its tenant's row."""
+        """Fold one finished request's exact deltas into its tenant's row.
+
+        ``count_lifecycle=False`` suppresses the completed/failed/latency
+        counters (the client already claimed the request as cancelled) but
+        still folds the attribution deltas — the cache counters saw the
+        work, so the invariant requires the sinks to as well.  ``completed``
+        counts every delivered answer, full or degraded; ``shed`` and
+        ``degraded`` are disjoint refinements of it (a shed response is
+        counted as shed only, a non-shed sub-full response as degraded).
+        """
         stats = self.tenant(tenant)
         with self._lock:
-            if ok:
-                stats.completed += 1
-                stats.latencies.append(latency_s)
-            else:
-                stats.failed += 1
+            if count_lifecycle:
+                if ok:
+                    stats.completed += 1
+                    stats.latencies.append(latency_s)
+                    if shed:
+                        stats.shed += 1
+                    elif degradation_level > 0:
+                        stats.degraded += 1
+                        label = degradation_label or str(degradation_level)
+                        stats.degraded_by_level[label] = (
+                            stats.degraded_by_level.get(label, 0) + 1
+                        )
+                else:
+                    stats.failed += 1
             stats.queue_wait_s += queue_wait_s
             stats.service_s += service_s
             if cost_delta is not None:

@@ -7,6 +7,10 @@ Three layers (see ``docs/verification.md``):
 * :mod:`repro.verification.differential` — execute original vs. optimized
   plans and diff canonicalized outputs, with job-level diagnostics and
   per-transformation bisection;
+* :mod:`repro.verification.faults` — seeded deterministic fault plans
+  (worker kills, site exceptions/hangs, cache corruption) installed into
+  the :func:`repro.common.faults.fault_site` hooks threaded through the
+  execution and serving stack (``docs/resilience.md``);
 * ``tests/test_differential_equivalence.py`` — the ``-m equivalence`` battery
   sweeping the optimizer variants over random and canned workflows.
 """
@@ -16,6 +20,15 @@ from repro.verification.differential import (
     DatasetDivergence,
     DifferentialExecutor,
     DifferentialReport,
+)
+from repro.verification.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TerminalInjectedFault,
+    corrupt_file,
+    install_fault_plan,
+    truncate_file,
 )
 from repro.verification.generator import (
     GeneratedWorkflow,
@@ -28,7 +41,14 @@ __all__ = [
     "DatasetDivergence",
     "DifferentialExecutor",
     "DifferentialReport",
+    "FaultPlan",
+    "FaultSpec",
     "GeneratedWorkflow",
     "GeneratorConfig",
+    "InjectedFault",
     "RandomWorkflowGenerator",
+    "TerminalInjectedFault",
+    "corrupt_file",
+    "install_fault_plan",
+    "truncate_file",
 ]

@@ -1,0 +1,297 @@
+"""Seeded, deterministic fault plans for the chaos harness.
+
+PR 8's only fault coverage was one ad-hoc SIGKILL test; this module
+generalizes it into a reusable subsystem.  Production code declares
+**injection sites** with :func:`repro.common.faults.fault_site`; a
+:class:`FaultPlan` — an ordered list of :class:`FaultSpec` triggers — is
+installed process-wide (:func:`install_fault_plan`) and decides, per
+visit, whether a fault fires:
+
+* ``exception`` / ``terminal`` — raise :class:`InjectedFault` (retryable,
+  the degradation ladder steps down) or :class:`TerminalInjectedFault`
+  (the request fails outright);
+* ``hang`` / ``latency`` — sleep ``delay_s`` (a long sleep models a hung
+  dependency a deadline must cut short, a short one models a slow task);
+* ``kill`` — SIGKILL the *current process*; refused unless it runs in a
+  forked worker (matching ``worker_slot``), so a misauthored plan can
+  never take down the test runner;
+* ``corrupt`` / ``truncate`` — deterministically mangle the file named by
+  the site's ``path=`` context (seeded garbage / cut to half), modeling
+  cache or catalog damage mid-run.
+
+Determinism: a spec fires on exact **matching-visit ordinals**
+(``at_hits``, 1-based, counted per process after the match filter) or on
+every match up to ``max_fires``.  Every fire is counted, so a test can
+reconcile observed degradations against ``plan.fires()`` exactly.  Fires
+inside forked workers count in the *worker's* copy of the plan (hit
+state is inherited at fork, then diverges) — the parent observes those
+through their effects: a worker death, a retried task, a rejected cache
+file.
+
+``STUBBY_FAULT_PLAN`` holds a JSON list of spec dicts; the test suite's
+conftest installs it when set, which is how the nightly chaos sweep runs
+the whole equivalence battery under injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import RetryableError, TerminalError
+from repro.common.faults import active_plan, set_active_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "TerminalInjectedFault",
+    "corrupt_file",
+    "install_fault_plan",
+    "install_from_env",
+    "plan_from_env",
+    "truncate_file",
+]
+
+#: Environment variable holding a JSON list of spec dicts.
+FAULT_PLAN_ENV_VAR = "STUBBY_FAULT_PLAN"
+
+#: Every fault behaviour a spec can request.
+FAULT_KINDS = ("exception", "terminal", "hang", "latency", "kill", "corrupt", "truncate")
+
+
+class InjectedFault(RetryableError):
+    """A deliberately injected transient failure (degrade, don't fail)."""
+
+
+class TerminalInjectedFault(TerminalError):
+    """A deliberately injected permanent failure (fail the request)."""
+
+
+def corrupt_file(path: str, seed: int = 0) -> bool:
+    """Overwrite ``path`` with deterministic seeded garbage; True if it existed.
+
+    The garbage is the same length as the original content (a plausible
+    bit-rot model: the file is there, the pickle inside is not), derived
+    from ``seed`` and the file name only — re-running a scenario mangles
+    the file identically.
+    """
+    if not os.path.exists(path):
+        return False
+    size = max(1, os.path.getsize(path))
+    rng = random.Random(f"fault-garbage:{seed}:{os.path.basename(path)}")
+    with open(path, "wb") as handle:
+        handle.write(rng.randbytes(size))
+    return True
+
+
+def truncate_file(path: str, fraction: float = 0.5) -> bool:
+    """Cut ``path`` to ``fraction`` of its size (a torn write / full disk)."""
+    if not os.path.exists(path):
+        return False
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("truncate fraction must be in [0, 1)")
+    keep = int(os.path.getsize(path) * fraction)
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return True
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic trigger: where, what, and on which visits.
+
+    ``site`` names the injection site exactly; ``match`` filters visits by
+    their keyword context (every key must be present and equal — e.g.
+    ``{"worker_slot": 0}`` arms only one fork-pool worker).  ``at_hits``
+    (1-based ordinals of *matching* visits) pins exact firing points;
+    empty means every matching visit fires, bounded by ``max_fires``.
+    """
+
+    site: str
+    kind: str = "exception"
+    match: Mapping[str, Any] = field(default_factory=dict)
+    at_hits: Tuple[int, ...] = ()
+    max_fires: Optional[int] = None
+    delay_s: float = 0.05
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        object.__setattr__(self, "at_hits", tuple(int(n) for n in self.at_hits))
+        if any(n < 1 for n in self.at_hits):
+            raise ValueError("at_hits ordinals are 1-based and must be >= 1")
+
+    def matches(self, info: Mapping[str, Any]) -> bool:
+        for key, expected in self.match.items():
+            if key not in info or info[key] != expected:
+                return False
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "match": dict(self.match),
+            "at_hits": list(self.at_hits),
+            "max_fires": self.max_fires,
+            "delay_s": self.delay_s,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            site=raw["site"],
+            kind=raw.get("kind", "exception"),
+            match=dict(raw.get("match", {})),
+            at_hits=tuple(raw.get("at_hits", ())),
+            max_fires=raw.get("max_fires"),
+            delay_s=float(raw.get("delay_s", 0.05)),
+            message=raw.get("message", ""),
+        )
+
+
+class FaultPlan:
+    """An installed set of :class:`FaultSpec` triggers with exact accounting."""
+
+    def __init__(
+        self, specs: Sequence[FaultSpec], seed: int = 0, name: str = "faultplan"
+    ) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.name = name
+        self._lock = threading.Lock()
+        self._hits: List[int] = [0] * len(self.specs)
+        self._fires: List[int] = [0] * len(self.specs)
+        self._site_visits: Dict[str, int] = {}
+        #: Fork detector for the kill guard: only a process that is *not*
+        #: the installing one (i.e. a forked worker) may be SIGKILLed.
+        self._installed_pid = os.getpid()
+
+    # -------------------------------------------------------------- the hook
+    def visit(self, site: str, info: Mapping[str, Any]) -> None:
+        """Called by :func:`repro.common.faults.fault_site` on every visit."""
+        to_fire: List[Tuple[int, FaultSpec]] = []
+        with self._lock:
+            self._site_visits[site] = self._site_visits.get(site, 0) + 1
+            for index, spec in enumerate(self.specs):
+                if spec.site != site or not spec.matches(info):
+                    continue
+                self._hits[index] += 1
+                hit = self._hits[index]
+                if spec.at_hits:
+                    fire = hit in spec.at_hits
+                else:
+                    fire = spec.max_fires is None or self._fires[index] < spec.max_fires
+                if fire and spec.max_fires is not None and self._fires[index] >= spec.max_fires:
+                    fire = False
+                if fire:
+                    self._fires[index] += 1
+                    to_fire.append((self._fires[index], spec))
+        for fire_number, spec in to_fire:
+            self._fire(spec, fire_number, info)
+
+    def _fire(self, spec: FaultSpec, fire_number: int, info: Mapping[str, Any]) -> None:
+        detail = spec.message or (
+            f"injected {spec.kind} at {spec.site} (fire #{fire_number}, plan {self.name!r})"
+        )
+        if spec.kind == "exception":
+            raise InjectedFault(detail)
+        if spec.kind == "terminal":
+            raise TerminalInjectedFault(detail)
+        if spec.kind in ("hang", "latency"):
+            time.sleep(spec.delay_s)
+            return
+        if spec.kind == "kill":
+            if os.getpid() == self._installed_pid:
+                # Never SIGKILL the process that installed the plan (the
+                # test runner / the server parent): a kill spec is meant
+                # for forked workers, matched by worker_slot.
+                raise TerminalInjectedFault(
+                    f"kill fault at {spec.site} refused: not in a forked worker "
+                    "(add a worker_slot match to target a process-pool worker)"
+                )
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - unreachable
+        path = info.get("path")
+        if not path:
+            return  # file faults need a site that names its file
+        if spec.kind == "corrupt":
+            corrupt_file(str(path), seed=self.seed)
+        elif spec.kind == "truncate":
+            truncate_file(str(path))
+
+    # ------------------------------------------------------------ accounting
+    def fires(self, site: Optional[str] = None) -> int:
+        """Total fires in *this process*, optionally for one site only."""
+        with self._lock:
+            return sum(
+                count
+                for spec, count in zip(self.specs, self._fires)
+                if site is None or spec.site == site
+            )
+
+    def report(self) -> Dict[str, Any]:
+        """Exact parent-side accounting for reconciliation assertions."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "seed": self.seed,
+                "site_visits": dict(self._site_visits),
+                "specs": [
+                    {**spec.as_dict(), "hits": hits, "fires": fires}
+                    for spec, hits, fires in zip(self.specs, self._hits, self._fires)
+                ],
+                "total_fires": sum(self._fires),
+            }
+
+    def as_json(self) -> str:
+        """The plan's specs as the JSON the env variable accepts."""
+        return json.dumps([spec.as_dict() for spec in self.specs])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(name={self.name!r}, specs={len(self.specs)}, fires={self.fires()})"
+
+
+@contextmanager
+def install_fault_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` process-wide for the duration of the block."""
+    previous = active_plan()
+    set_active_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_active_plan(previous)
+
+
+def plan_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[FaultPlan]:
+    """Parse ``STUBBY_FAULT_PLAN`` into a plan; ``None`` when unset/empty.
+
+    A malformed value raises — a chaos run silently running without its
+    faults would report a misleading all-green.
+    """
+    raw = (environ if environ is not None else os.environ).get(FAULT_PLAN_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    specs = [FaultSpec.from_dict(item) for item in json.loads(raw)]
+    seed = int((environ if environ is not None else os.environ).get("STUBBY_FAULT_SEED", "0"))
+    return FaultPlan(specs, seed=seed, name="env")
+
+
+def install_from_env() -> Optional[FaultPlan]:
+    """Install the env-configured plan (if any) and return it."""
+    plan = plan_from_env()
+    if plan is not None:
+        set_active_plan(plan)
+    return plan

@@ -72,6 +72,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import ClusterSpec
+from repro.common.faults import fault_site
 from repro.whatif.jobmodel import estimate_job_time
 from repro.whatif.model import COST_MODEL_VERSION, VertexCost, WhatIfEngine, WorkflowCostEstimate
 from repro.workflow.graph import Workflow
@@ -461,6 +462,7 @@ class CostService:
     # ------------------------------------------------------------------ API
     def estimate_workflow(self, workflow: Workflow) -> WorkflowCostEstimate:
         """Estimate ``workflow``, reusing cached per-job work where valid."""
+        fault_site("whatif.estimate", jobs=len(workflow.jobs))
         delta = CostServiceStats(queries=1)
         if any(not vertex.annotations.has_profile for vertex in workflow.jobs):
             delta.fallback_queries = 1
@@ -673,6 +675,9 @@ class CostService:
             "entries": entries,
         }
         atomic_pickle_write(path, payload)
+        # After the atomic replace: a corrupt/truncate fault here models
+        # bit-rot of a complete file, which the next load must reject whole.
+        fault_site("costcache.save", path=path)
         return len(entries)
 
     def load_cache(self, path: Optional[str] = None) -> CacheLoadReport:
@@ -687,6 +692,8 @@ class CostService:
         path = path or self.cache_path
         if not path:
             raise ValueError("no cache path configured (pass path= or set cache_path)")
+        # Before the open: a corrupt/truncate fault mangles what we then read.
+        fault_site("costcache.load", path=path)
         if not os.path.exists(path):
             return CacheLoadReport(loaded=False, reason="no cache file")
         try:

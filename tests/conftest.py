@@ -43,6 +43,23 @@ def equivalence_seeds():
     return [EQUIVALENCE_BASE_SEED + i for i in range(max(25, count))]
 
 
+@pytest.fixture(scope="session", autouse=True)
+def env_fault_plan():
+    """Install the ``STUBBY_FAULT_PLAN`` fault plan (if set) for the session.
+
+    This is how the nightly chaos sweep runs the whole suite under injected
+    faults: the env variable carries a JSON spec list, and every
+    ``fault_site`` hook in the library sees the installed plan.  Unset (the
+    normal case) this is a no-op.
+    """
+    from repro.common.faults import set_active_plan
+    from repro.verification.faults import install_from_env
+
+    plan = install_from_env()
+    yield plan
+    set_active_plan(None)
+
+
 @pytest.fixture(scope="session")
 def cluster():
     """The paper's evaluation cluster, shared across the equivalence battery."""

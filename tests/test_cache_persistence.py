@@ -17,6 +17,13 @@ import pytest
 import repro.whatif.service as service_module
 from repro.cluster import ClusterSpec
 from repro.profiler import Profiler
+from repro.verification import (
+    FaultPlan,
+    FaultSpec,
+    corrupt_file,
+    install_fault_plan,
+    truncate_file,
+)
 from repro.whatif.service import (
     CACHE_FORMAT_VERSION,
     CACHE_MAX_ENTRIES_ENV_VAR,
@@ -100,18 +107,36 @@ class TestHostileFiles:
         assert service.stats.job_full_recosts > 0
 
     def test_corrupt_file(self, tmp_path, profiled_workflow):
-        path = tmp_path / "corrupt.cache"
-        path.write_bytes(b"this is not a pickle at all \x00\x01\x02")
-        service = CostService(CLUSTER, cache_path=str(path))
+        # The chaos harness's bit-rot model: a complete, valid cache whose
+        # bytes were replaced with same-length seeded garbage.
+        path = str(tmp_path / "corrupt.cache")
+        _warmed_service(profiled_workflow).save_cache(path)
+        assert corrupt_file(path, seed=7)
+        service = CostService(CLUSTER, cache_path=path)
         self._assert_rejected_but_functional(service, "unreadable", profiled_workflow)
 
     def test_truncated_file(self, tmp_path, profiled_workflow):
         path = str(tmp_path / "truncated.cache")
         _warmed_service(profiled_workflow).save_cache(path)
-        whole = open(path, "rb").read()
-        with open(path, "wb") as handle:
-            handle.write(whole[: len(whole) // 2])
+        assert truncate_file(path, fraction=0.5)
         service = CostService(CLUSTER, cache_path=path)
+        self._assert_rejected_but_functional(service, "unreadable", profiled_workflow)
+
+    def test_fault_plan_corruption_at_the_load_site(self, tmp_path, profiled_workflow):
+        # End-to-end through the injection site: a ``costcache.load``
+        # corrupt spec mangles the file at the moment the service goes to
+        # read it — the load is rejected wholesale, quietly, and the plan's
+        # accounting shows exactly one fire to reconcile against.
+        path = str(tmp_path / "ambushed.cache")
+        _warmed_service(profiled_workflow).save_cache(path)
+        plan = FaultPlan(
+            [FaultSpec(site="costcache.load", kind="corrupt", max_fires=1)],
+            seed=11,
+            name="bit-rot-on-load",
+        )
+        with install_fault_plan(plan):
+            service = CostService(CLUSTER, cache_path=path)
+        assert plan.fires("costcache.load") == 1
         self._assert_rejected_but_functional(service, "unreadable", profiled_workflow)
 
     def test_wrong_payload_shape(self, tmp_path, profiled_workflow):

@@ -36,6 +36,7 @@ REQUIRED_DOCS = (
     "verification.md",
     "experiments.md",
     "service.md",
+    "resilience.md",
 )
 
 

@@ -17,8 +17,6 @@ sum *exactly* to the global cache deltas under any interleaving.
 """
 
 import asyncio
-import os
-import signal
 
 import pytest
 
@@ -34,7 +32,12 @@ from repro.service import (
     oracle_fingerprint,
     percentile,
 )
-from repro.verification import RandomWorkflowGenerator
+from repro.verification import (
+    FaultPlan,
+    FaultSpec,
+    RandomWorkflowGenerator,
+    install_fault_plan,
+)
 from repro.verification.generator import GeneratorConfig
 from repro.workloads import build_workload
 
@@ -205,30 +208,45 @@ class TestFaultInjection:
     """Crashes, cancellations, and overload never change anyone's answer."""
 
     def test_killed_worker_is_survived_and_accounted(self, catalog):
+        # The FaultPlan harness replaces the old external os.kill(): a kill
+        # spec armed for pool worker 0 SIGKILLs it (from inside the forked
+        # child) on its second dispatched task.  The worker_slot match means
+        # inline execution (slot -1) and the parent can never fire it.
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="parallel.task",
+                    kind="kill",
+                    match={"worker_slot": 0},
+                    at_hits=(2,),
+                )
+            ],
+            name="kill-worker-0",
+        )
+
         async def main():
             server = make_server(catalog, pool="process:2")
             cost_before = server.costs.stats_snapshot()
             decision_before = server.decisions.stats_snapshot()
             await server.start(serve=False)
             try:
-                # One guaranteed 4-request batch, so the pool forks.
+                # One guaranteed 4-request batch, so the pool forks; worker 0
+                # dies on its second task of the batch and the in-flight
+                # request is retried on the survivor.
                 wave_a = [asyncio.ensure_future(submit_ok(server, i)) for i in range(4)]
                 await asyncio.sleep(0.1)
                 server.resume()
                 wave_a = await asyncio.gather(*wave_a)
-                pids = server.worker_pids()
-                assert len(pids) == 2
-                # SIGKILL one worker, then keep serving: its in-flight or
-                # next-dispatched request is retried on the survivor.
-                os.kill(pids[0], signal.SIGKILL)
                 wave_b = [asyncio.ensure_future(submit_ok(server, i)) for i in range(4)]
                 await asyncio.sleep(0.05)
                 wave_b = await asyncio.gather(*wave_b)
 
                 for (workload, optimizer), response in wave_a + wave_b:
                     assert response.identity() == oracle(catalog, workload, optimizer)
+                    assert response.degradation_level == 0
                 stats = server.dispatch_stats()
                 assert stats.worker_deaths >= 1
+                assert stats.retried_tasks >= 1
                 # Exactly one execution counted per request — the lost
                 # worker's chunk (response + stats payload) vanished whole,
                 # so nothing double-counted and nothing half-merged.
@@ -244,7 +262,8 @@ class TestFaultInjection:
             for row in server.stats.tenants.values():
                 assert row.failed == 0
 
-        asyncio.run(main())
+        with install_fault_plan(plan):
+            asyncio.run(main())
 
     def test_client_timeout_withdraws_quietly(self, catalog):
         async def main():
